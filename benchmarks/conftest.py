@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and writes
+the rendered table to ``benchmarks/results/`` (also echoed to stdout; run
+with ``pytest benchmarks/ --benchmark-only -s`` to see it live).
+
+Scale control: set ``REPRO_SCALE=paper`` for the larger workload tier.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.gos_kneighbor import gos_kneighbor_clustering
+from repro.core.params import ShinglingParams
+from repro.core.pipeline import GpClust
+from repro.eval.partition import Partition
+from repro.pipeline.workloads import get_scale, make_quality_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write a rendered report under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def quality_data(scale):
+    """The calibrated quality benchmark: graph + all three partitions.
+
+    Computed once per session; Tables III/IV and Figure 5 all read it.
+    """
+    pg = make_quality_workload(scale, seed=11)
+    result = GpClust(ShinglingParams(c1=100, c2=50, seed=5)).run(pg.graph)
+    gp = Partition(result.labels)
+    gos = Partition(gos_kneighbor_clustering(pg.gos_graph, k=10))
+    bench = Partition(pg.family_labels)
+    return pg, gp, gos, bench

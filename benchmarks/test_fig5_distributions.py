@@ -1,0 +1,65 @@
+"""Figure 5 — group-size distributions of the gpClust and GOS partitions.
+
+(a) number of groups per size bin; (b) number of sequences per size bin,
+for bins 20-49, 50-99, 100-199, 200-499, 500-999, 1000-2000, >2000.
+The paper's observation: "both partitions show roughly the same
+distribution".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.distribution import size_distribution
+from repro.util.tables import format_count, format_table
+
+
+def _ascii_bars(values, width=40):
+    peak = max(int(max(values)), 1)
+    return ["#" * max(int(round(width * v / peak)), 1 if v else 0)
+            for v in values]
+
+
+def test_fig5_distributions(benchmark, quality_data, report_writer, scale):
+    _, gp, gos, _ = quality_data
+
+    dist_gp = benchmark(size_distribution, gp)
+    dist_gos = size_distribution(gos)
+
+    labels = dist_gp.labels()
+    rows_a = [
+        [lab, format_count(g1), bar1, format_count(g2), bar2]
+        for lab, g1, bar1, g2, bar2 in zip(
+            labels,
+            dist_gp.group_counts, _ascii_bars(dist_gp.group_counts, 20),
+            dist_gos.group_counts, _ascii_bars(dist_gos.group_counts, 20))
+    ]
+    rows_b = [
+        [lab, format_count(s1), bar1, format_count(s2), bar2]
+        for lab, s1, bar1, s2, bar2 in zip(
+            labels,
+            dist_gp.sequence_counts, _ascii_bars(dist_gp.sequence_counts, 20),
+            dist_gos.sequence_counts, _ascii_bars(dist_gos.sequence_counts, 20))
+    ]
+    table_a = format_table(
+        ["Group size", "gpClust", "", "GOS", ""], rows_a,
+        title=f"Figure 5(a) analogue — groups per size bin (scale={scale})",
+        align=["l", "r", "l", "r", "l"])
+    table_b = format_table(
+        ["Group size", "gpClust", "", "GOS", ""], rows_b,
+        title="Figure 5(b) analogue — sequences per size bin",
+        align=["l", "r", "l", "r", "l"])
+    report_writer("fig5_distributions", table_a + "\n\n" + table_b)
+
+    # Shape: both distributions decay from the small bins, and they are
+    # "roughly the same": rank correlation of the bin series is high.
+    assert dist_gp.group_counts.argmax() <= 1
+    assert dist_gos.group_counts.argmax() <= 1
+    a = np.argsort(np.argsort(dist_gp.group_counts))
+    b = np.argsort(np.argsort(dist_gos.group_counts))
+    n = a.size
+    rho = 1 - 6 * float(((a - b) ** 2).sum()) / (n * (n**2 - 1))
+    assert rho > 0.5, f"distributions diverged: spearman {rho:.2f}"
+    # Sequence mass also concentrated in comparable bins.
+    assert abs(int(dist_gp.sequence_counts.argmax())
+               - int(dist_gos.sequence_counts.argmax())) <= 2

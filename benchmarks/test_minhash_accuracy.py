@@ -1,0 +1,63 @@
+"""Min-wise estimator accuracy vs. trial count (the theory behind c1/c2).
+
+Section III-B rests on Broder's min-wise independence: shingle agreement
+estimates neighborhood Jaccard.  This bench sweeps the trial count and
+measures the empirical estimation error against the analytic bound,
+showing what the paper's ``c1 = 200`` buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.minhash import (
+    estimate_jaccard,
+    estimation_error_bound,
+    exact_jaccard,
+    minhash_signatures,
+)
+from repro.core.params import ShinglingParams
+from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
+from repro.util.tables import format_table
+
+
+def test_minhash_estimator_accuracy(benchmark, scale, report_writer):
+    pg = planted_family_graph(
+        PlantedFamilyConfig(n_families=10, family_size_median=80.0), seed=2)
+    graph = pg.graph
+    rng = np.random.default_rng(0)
+    # Sample pairs with nonzero overlap (same-family, adjacent).
+    edges = graph.edges()
+    sample = edges[rng.choice(edges.shape[0], size=150, replace=False)]
+
+    rows = []
+    errors_by_c = {}
+    for c in (25, 50, 100, 200, 400):
+        config = ShinglingParams(c1=c, c2=10, seed=3).pass_config(1)
+        if c == 200:
+            signatures = benchmark.pedantic(
+                lambda cfg=config: minhash_signatures(graph, cfg),
+                rounds=1, iterations=1)
+        else:
+            signatures = minhash_signatures(graph, config)
+        errors = []
+        for u, v in sample.tolist():
+            est = estimate_jaccard(signatures, u, v)
+            errors.append(abs(est - exact_jaccard(graph, u, v)))
+        errors = np.asarray(errors)
+        errors_by_c[c] = errors
+        rows.append([str(c),
+                     f"{errors.mean():.4f}",
+                     f"{np.quantile(errors, 0.95):.4f}",
+                     f"{estimation_error_bound(c):.4f}"])
+    table = format_table(
+        ["c (trials)", "mean |error|", "p95 |error|",
+         "95% bound (worst case)"],
+        rows,
+        title=f"Min-wise Jaccard estimation accuracy (scale={scale})")
+    report_writer("minhash_accuracy", table)
+
+    # Error shrinks with c and stays under the analytic bound.
+    assert errors_by_c[400].mean() < errors_by_c[25].mean()
+    for c, errors in errors_by_c.items():
+        assert np.quantile(errors, 0.95) <= estimation_error_bound(c) + 0.02

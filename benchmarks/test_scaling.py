@@ -1,0 +1,88 @@
+"""Scaling behavior: runtime vs. graph size, and component decomposition.
+
+Two figure-style series the paper's scalability narrative implies:
+
+* gpClust runtime as the input graph grows at constant average degree —
+  the O(m * c * s) complexity of Section III-B predicts near-linear growth;
+* the divide-and-conquer driver (cluster per connected component, the
+  pClust decomposition) with 1..4 workers, which must return exactly the
+  single-run partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decompose import cluster_by_components
+from repro.core.params import ShinglingParams
+from repro.core.pipeline import GpClust
+from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
+from repro.util.tables import format_count, format_seconds, format_table
+
+
+def test_scaling_with_graph_size(benchmark, scale, report_writer):
+    params = ShinglingParams(c1=40, c2=20, seed=2)
+    family_counts = (8, 16, 32, 64) if scale == "small" else (16, 32, 64, 128, 256)
+    rows = []
+    sizes, times = [], []
+    for n_families in family_counts:
+        pg = planted_family_graph(
+            PlantedFamilyConfig(n_families=n_families), seed=3)
+        graph = pg.graph
+        if n_families == family_counts[-1]:
+            result = benchmark.pedantic(
+                lambda g=graph: GpClust(params).run(g), rounds=1, iterations=1)
+        else:
+            result = GpClust(params).run(graph)
+        total = result.timings.total
+        sizes.append(graph.nnz)
+        times.append(total)
+        rows.append([format_count(graph.n_vertices),
+                     format_count(graph.n_edges),
+                     format_seconds(total),
+                     format_count(int(graph.nnz / total))])
+    table = format_table(
+        ["#vertices", "#edges", "seconds", "arcs/s"], rows,
+        title=f"Scaling — runtime vs. graph size (c1=40, scale={scale})")
+    report_writer("scaling_graph_size", table)
+
+    # Near-linear: time ratio grows no faster than ~2x the size ratio.
+    size_ratio = sizes[-1] / sizes[0]
+    time_ratio = times[-1] / times[0]
+    assert time_ratio < 2.5 * size_ratio, (
+        f"superlinear scaling: sizes x{size_ratio:.1f}, time x{time_ratio:.1f}")
+
+
+def test_scaling_component_decomposition(benchmark, scale, report_writer):
+    pg = planted_family_graph(
+        PlantedFamilyConfig(n_families=48 if scale == "small" else 160),
+        seed=5)
+    graph = pg.graph
+    params = ShinglingParams(c1=40, c2=20, seed=2)
+
+    import time
+
+    t0 = time.perf_counter()
+    single = GpClust(params).run(graph)
+    rows = [["single run", format_seconds(time.perf_counter() - t0)]]
+    results = {}
+    for workers in (1, 2, 4):
+        t0 = time.perf_counter()
+        if workers == 4:
+            res = benchmark.pedantic(
+                lambda: cluster_by_components(graph, params, n_workers=4),
+                rounds=1, iterations=1)
+        else:
+            res = cluster_by_components(graph, params, n_workers=workers)
+        results[workers] = res
+        rows.append([f"decomposed, {workers} worker(s)",
+                     format_seconds(time.perf_counter() - t0)])
+    table = format_table(
+        ["configuration", "wall seconds"], rows,
+        title=f"Scaling — pClust component decomposition (scale={scale})")
+    report_writer("scaling_decomposition", table)
+
+    for res in results.values():
+        assert np.array_equal(res.labels, single.labels), (
+            "decomposed clustering must equal the single global run")

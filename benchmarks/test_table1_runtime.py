@@ -1,0 +1,114 @@
+"""Table I — runtime breakdown of gpClust vs. the serial implementation.
+
+Paper columns, per input graph (20K and 2M analogues):
+
+    #non-singleton vertices | #edges | CPU | GPU | Data c->g | Data g->c |
+    Disk I/O | total | serial runtime | total speedup | GPU-part speedup
+
+The GPU-part speedup compares the serial time spent in the two shingling
+levels (~80% of the serial runtime, per the paper's profile) against the
+device kernel time.  Modeled K20/PCIe seconds are reported alongside the
+measured wall times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import BUCKET_SERIAL_SHINGLING, GpClust, SerialPClust
+from repro.graph.io import save_npz, timed_load
+from repro.pipeline.workloads import make_runtime_workload, workload_params
+from repro.util.tables import format_count, format_seconds, format_table
+from repro.util.timer import (
+    BUCKET_C2G,
+    BUCKET_CPU,
+    BUCKET_G2C,
+    BUCKET_GPU,
+    BUCKET_IO,
+)
+
+HEADERS = ["graph", "#vertices", "#edges", "CPU", "GPU", "Data c->g",
+           "Data g->c", "Disk I/O", "Total", "Serial", "Speedup",
+           "GPU speedup"]
+
+_rows: list[list[str]] = []
+_modeled_rows: list[list[str]] = []
+
+
+@pytest.fixture(scope="module")
+def runtime_results(scale, tmp_path_factory):
+    """Run serial and device pipelines once per workload, via disk I/O."""
+    results = {}
+    tmp = tmp_path_factory.mktemp("table1")
+    for name in ("20k", "2m"):
+        pg = make_runtime_workload(name, scale)
+        path = tmp / f"{name}.npz"
+        save_npz(pg.graph, path)
+        graph, io_seconds = timed_load(path)
+        params = workload_params(scale)
+        serial = SerialPClust(params).run(graph, io_seconds=io_seconds)
+        graph, io_seconds = timed_load(path)
+        device = GpClust(params).run(graph, io_seconds=io_seconds)
+        results[name] = (graph, serial, device)
+    return results
+
+
+@pytest.mark.parametrize("name", ["20k", "2m"])
+def test_table1_row(benchmark, name, runtime_results, report_writer, scale):
+    graph, serial, device = runtime_results[name]
+
+    params = workload_params(scale)
+    benchmark.pedantic(
+        lambda: GpClust(params).run(graph), rounds=1, iterations=1)
+
+    t = device.timings
+    serial_total = serial.timings.total
+    serial_shingling = serial.timings.get(BUCKET_SERIAL_SHINGLING)
+    total = t.total
+    gpu = t.get(BUCKET_GPU)
+    _rows.append([
+        name,
+        format_count((graph.degrees() > 0).sum()),
+        format_count(graph.n_edges),
+        format_seconds(t.get(BUCKET_CPU)),
+        format_seconds(gpu),
+        format_seconds(t.get(BUCKET_C2G)),
+        format_seconds(t.get(BUCKET_G2C)),
+        format_seconds(t.get(BUCKET_IO)),
+        format_seconds(total),
+        format_seconds(serial_total),
+        f"{serial_total / total:.2f}x",
+        f"{serial_shingling / max(gpu, 1e-9):.2f}x",
+    ])
+    _modeled_rows.append([
+        name, "", "",
+        "-",
+        format_seconds(t.get_modeled(BUCKET_GPU)),
+        format_seconds(t.get_modeled(BUCKET_C2G)),
+        format_seconds(t.get_modeled(BUCKET_G2C)),
+        "-", "-", "-", "-",
+        f"{serial_shingling / max(t.get_modeled(BUCKET_GPU), 1e-9):.0f}x",
+    ])
+
+    # Shape assertions mirroring the paper's findings.
+    assert serial_total / total > 2.0, "gpClust must clearly beat serial"
+    assert serial_shingling / max(gpu, 1e-9) > serial_total / total, (
+        "the accelerated part must speed up more than the whole pipeline "
+        "(Amdahl)")
+    assert serial_shingling > 0.5 * serial_total, (
+        "shingling should dominate the serial runtime (paper: ~80%)")
+
+    if name == "2m":
+        table = format_table(
+            HEADERS, _rows,
+            title=f"Table I analogue — runtime breakdown (seconds, scale={scale})")
+        modeled = format_table(
+            HEADERS, _modeled_rows,
+            title="Modeled device seconds (K20 kernel + PCIe transfer models)")
+        report_writer(
+            "table1_runtime",
+            table + "\n\n" + modeled + "\n\n"
+            "Paper (Table I): 20K -> serial 392.32s, total 66.75s (5.88x), "
+            "GPU part 44.86x;\n"
+            "               2M -> serial 23,537.80s, total 3,275.98s (7.18x), "
+            "GPU part 373.71x.")

@@ -1,0 +1,41 @@
+"""Table III — qualitative comparison against the benchmark partition.
+
+Paper rows (2M sequences, clusters of size >= 20):
+
+    gpClust vs. Benchmark: PPV 97.17% | NPV 92.43% | SP 99.88% | SE 17.85%
+    GOS     vs. Benchmark: PPV 100.00% | NPV 90.62% | SP 100.00% | SE 13.92%
+
+The reproduced shape: both PPVs ~100% with gpClust slightly below GOS, both
+sensitivities low with gpClust above GOS.
+"""
+
+from __future__ import annotations
+
+from repro.eval.confusion import quality_scores
+from repro.util.tables import format_table
+
+
+def test_table3_quality(benchmark, quality_data, report_writer, scale):
+    pg, gp, gos, bench = quality_data
+
+    qs_gp = benchmark(quality_scores, gp, bench, 20)
+    qs_gos = quality_scores(gos, bench, min_size=20)
+
+    table = format_table(
+        ["Approach", "PPV", "NPV", "SP", "SE"],
+        [qs_gp.table_row("gpClust vs. Benchmark"),
+         qs_gos.table_row("GOS vs. Benchmark")],
+        title=f"Table III analogue — quality vs. benchmark (scale={scale})",
+    )
+    report_writer(
+        "table3_quality",
+        table + "\n\nPaper (Table III): gpClust 97.17 / 92.43 / 99.88 / 17.85;"
+        " GOS 100.00 / 90.62 / 100.00 / 13.92 (percent).")
+
+    # Shape assertions (the paper's qualitative claims).
+    assert qs_gos.ppv > 0.999
+    assert 0.90 <= qs_gp.ppv < qs_gos.ppv
+    assert qs_gp.sensitivity > qs_gos.sensitivity
+    assert qs_gp.sensitivity < 0.5 and qs_gos.sensitivity < 0.5
+    assert qs_gp.specificity > 0.99 and qs_gos.specificity > 0.99
+    assert qs_gp.npv > 0.9 and qs_gos.npv > 0.9

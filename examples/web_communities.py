@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Shingling in its original habitat: dense subgraphs of a web-scale graph.
+
+The Shingling heuristic was introduced by Gibson, Kumar & Tomkins (VLDB
+2005) to find large dense subgraphs — link farms and communities — in web
+host graphs.  This example applies the same gpClust machinery to a skewed
+R-MAT graph (the standard synthetic web-graph stand-in), demonstrates the
+overlapping reporting mode (the paper's Phase III option 1), and contrasts
+it with the partition mode used for protein families.
+
+Run:  python examples/web_communities.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GpClust, ShinglingParams
+from repro.eval import Partition
+from repro.graph import compute_graph_stats
+from repro.synthdata import rmat_graph
+from repro.util.tables import format_count, format_table
+
+
+def main() -> None:
+    # A web-like graph: heavy-tailed degrees, local clustering.
+    graph = rmat_graph(scale=13, edge_factor=12, seed=99)
+    stats = compute_graph_stats(graph)
+    print(stats.render(title="R-MAT 'web' graph"))
+
+    params = ShinglingParams(s1=2, c1=40, s2=2, c2=20, seed=3)
+
+    # Partition mode: every host in at most one community.
+    partition_result = GpClust(params).run(graph)
+    part = Partition(partition_result.labels)
+    sizes = partition_result.cluster_sizes(min_size=5)
+    print(f"\npartition mode: {sizes.size} communities of size >= 5, "
+          f"largest {sizes[0] if sizes.size else 0}")
+
+    # Overlapping mode: hub hosts may appear in several communities —
+    # "the same input vertex can be part of two entirely different shingles
+    # and different connected components" (Section III-B).
+    overlap_params = params.with_overrides(report_mode="overlapping")
+    overlap_result = GpClust(overlap_params).run(graph)
+    communities = overlap_result.clusters(min_size=5)
+    memberships = sum(c.size for c in communities)
+    distinct = (np.unique(np.concatenate(communities)).size
+                if communities else 0)
+    print(f"overlapping mode: {len(communities)} communities, "
+          f"{memberships} memberships over {distinct} distinct hosts "
+          f"({memberships - distinct} multi-community memberships)")
+
+    # Density check: detected communities should be far denser than the
+    # graph at large.
+    rows = []
+    background = graph.n_edges / (graph.n_vertices * (graph.n_vertices - 1) / 2)
+    for i, community in enumerate(sorted(communities, key=len,
+                                         reverse=True)[:5]):
+        sub, _ = graph.subgraph(community)
+        density = sub.n_edges / (community.size * (community.size - 1) / 2)
+        rows.append([f"community {i}", format_count(community.size),
+                     f"{density:.3f}", f"{density / background:,.0f}x"])
+    print()
+    print(format_table(
+        ["community", "hosts", "density", "vs. background"], rows,
+        title="Densest detected communities"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Advanced features: weighted shingling and component-parallel clustering.
+
+Two capabilities beyond the paper's scope, built on the same machinery:
+
+1. **Weighted sampling** — the paper notes edge weights (e.g. alignment
+   scores) are "sometimes available" but stays unweighted.  Here, cores
+   connected by many *weak* edges fuse under unweighted Shingling but stay
+   separate under weight-proportional (exponential-race) sampling.
+2. **Divide-and-conquer** — pClust's connected-component decomposition,
+   run with a thread pool (one simulated device per worker).  Produces the
+   exact same partition as a single global run.
+
+Run:  python examples/weighted_and_parallel.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import GpClust, ShinglingParams, cluster_by_components
+from repro.core.weighted import WeightedGpClust
+from repro.graph.weighted import WeightedCSRGraph
+from repro.synthdata import PlantedFamilyConfig, planted_family_graph
+from repro.util.tables import format_table
+
+
+def weighted_demo() -> None:
+    print("--- weighted shingling " + "-" * 40)
+    rng = np.random.default_rng(1)
+    edges, weights = [], []
+    # Two strong cores...
+    for base in (0, 20):
+        for i in range(20):
+            for j in range(i + 1, 20):
+                if rng.random() < 0.9:
+                    edges.append((base + i, base + j))
+                    weights.append(10.0)
+    # ... connected by eight weak (low-alignment-score) bridges.
+    for _ in range(8):
+        edges.append((int(rng.integers(0, 20)), int(rng.integers(20, 40))))
+        weights.append(0.05)
+    wgraph = WeightedCSRGraph.from_weighted_edges(
+        np.array(edges), np.array(weights), n_vertices=40)
+
+    params = ShinglingParams(c1=60, c2=30, seed=9)
+    unweighted = GpClust(params).run(wgraph.csr)
+    weighted = WeightedGpClust(params).run(wgraph)
+
+    def fused(labels):
+        return "fused" if labels[0] == labels[20] else "separate"
+
+    print(format_table(
+        ["variant", "core A vs core B", "#clusters(>=10)"],
+        [["unweighted", fused(unweighted.labels),
+          str(unweighted.n_clusters(min_size=10))],
+         ["weighted", fused(weighted.labels),
+          str(weighted.n_clusters(min_size=10))]],
+        title="weak-bridge instance"))
+
+
+def parallel_demo() -> None:
+    print("\n--- component-parallel clustering " + "-" * 29)
+    planted = planted_family_graph(PlantedFamilyConfig(n_families=48), seed=5)
+    graph = planted.graph
+    params = ShinglingParams(c1=40, c2=20, seed=2)
+
+    t0 = time.perf_counter()
+    single = GpClust(params).run(graph)
+    t_single = time.perf_counter() - t0
+
+    rows = [["single global run", f"{t_single:.2f}s", "-"]]
+    for workers in (1, 2, 4):
+        t0 = time.perf_counter()
+        result = cluster_by_components(graph, params, n_workers=workers)
+        elapsed = time.perf_counter() - t0
+        identical = bool(np.array_equal(result.labels, single.labels))
+        rows.append([f"{workers} worker(s)", f"{elapsed:.2f}s",
+                     "identical" if identical else "DIFFERENT!"])
+        assert identical
+    print(format_table(["configuration", "wall time", "vs. single run"],
+                       rows, title=f"{graph.n_vertices} vertices, "
+                                   f"{graph.n_edges} edges"))
+    print("\nevery decomposition returns the exact single-run partition ✔")
+
+
+if __name__ == "__main__":
+    weighted_demo()
+    parallel_demo()

@@ -1,0 +1,11 @@
+"""Legacy-editable-install shim.
+
+This offline environment has setuptools 65.5 without the ``wheel`` package,
+so PEP 660 editable installs (``build_editable`` -> ``bdist_wheel``) fail.
+pip falls back to ``setup.py develop`` when this shim is present and no
+``[build-system]`` table is declared.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro — reproduction of "GPU-Accelerated Protein Family Identification
+for Metagenomics" (Wu & Kalyanaraman, IPDPSW 2013).
+
+The package implements the paper's gpClust system and every substrate it
+depends on:
+
+* :mod:`repro.core` — the two-pass Shingling clustering heuristic, serial
+  and device-backed;
+* :mod:`repro.device` — the simulated GPU (memory, transfers, kernels,
+  batching);
+* :mod:`repro.graph` — CSR graphs, union-find, connected components, stats;
+* :mod:`repro.synthdata` — planted-family benchmark graph generation;
+* :mod:`repro.sequence` — protein sequences, Smith-Waterman, homology graph
+  construction (the pGraph analogue);
+* :mod:`repro.baselines` — the GOS k-neighbor comparator and friends;
+* :mod:`repro.eval` — pair-counting quality metrics, density, distributions;
+* :mod:`repro.pipeline` — end-to-end workloads used by the benchmarks.
+
+Quickstart::
+
+    import repro
+    graph = repro.synthdata.planted_family_graph(
+        repro.synthdata.PlantedFamilyConfig(n_families=30), seed=1).graph
+    result = repro.cluster_graph(graph, repro.ShinglingParams(c1=40, c2=20))
+    print(result.summary())
+"""
+
+import repro.baselines as baselines
+import repro.eval as eval  # noqa: A004 - deliberate subpackage re-export
+import repro.pipeline as pipeline
+import repro.sequence as sequence
+import repro.synthdata as synthdata
+from repro.core import (
+    ClusterResult,
+    GpClust,
+    SerialPClust,
+    ShinglingParams,
+    cluster_by_components,
+    cluster_graph,
+)
+from repro.device import DeviceSpec, SimulatedDevice
+from repro.graph import CSRGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "ClusterResult",
+    "DeviceSpec",
+    "GpClust",
+    "SerialPClust",
+    "ShinglingParams",
+    "SimulatedDevice",
+    "baselines",
+    "cluster_by_components",
+    "cluster_graph",
+    "eval",
+    "pipeline",
+    "sequence",
+    "synthdata",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Comparator clustering methods.
+
+* :func:`gos_kneighbor_clustering` — the GOS project's k-neighbor linkage
+  (Yooseph et al. 2007), the method Table III/IV compares gpClust against;
+* :func:`jaccard_bruteforce_clustering` — the quadratic pairwise
+  neighborhood-Jaccard method Section III-B motivates Shingling against;
+* :func:`single_linkage_clustering` — plain connected components, the
+  trivial lower bound (and pClust's decomposition step).
+"""
+
+from repro.baselines.gos_kneighbor import gos_kneighbor_clustering, shared_neighbor_counts
+from repro.baselines.jaccard import jaccard_bruteforce_clustering, jaccard_matrix
+from repro.baselines.single_linkage import single_linkage_clustering
+
+__all__ = [
+    "gos_kneighbor_clustering",
+    "jaccard_bruteforce_clustering",
+    "jaccard_matrix",
+    "shared_neighbor_counts",
+    "single_linkage_clustering",
+]

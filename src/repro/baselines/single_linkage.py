@@ -1,0 +1,20 @@
+"""Single-linkage (connected components) clustering.
+
+The trivial baseline: every connected component is one cluster.  This is
+also the decomposition pClust applies before Shingling ("connected component
+detection is applied to the input graph to break down the large problem
+instance"), so it doubles as an upper bound on how much any of the
+edge-respecting methods here can merge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.components import connected_components
+from repro.graph.csr import CSRGraph
+
+
+def single_linkage_clustering(graph: CSRGraph) -> np.ndarray:
+    """Per-vertex labels: one cluster per connected component."""
+    return connected_components(graph)

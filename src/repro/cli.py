@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``generate``
+    Write a planted-family benchmark graph (``.npz`` CSR + ``.labels.npz``
+    ground truth) or a synthetic protein FASTA.
+``cluster``
+    Cluster a graph file with gpClust (or the serial baseline) and write the
+    per-vertex labels; prints the cluster summary and component timings.
+``stats``
+    Print Table-II-style statistics of a graph file.
+``compare``
+    Score a clustering (or compute one) against a benchmark labels file:
+    PPV/NPV/SP/SE, density, partition statistics.
+``pipeline``
+    End to end from a FASTA file: homology graph construction
+    (k-mer or suffix-array pair filter + batched Smith-Waterman), gpClust
+    clustering, and a per-cluster report.
+
+Examples
+--------
+::
+
+    python -m repro generate --families 20 --seed 7 --out bench
+    python -m repro cluster bench.npz --out labels.npz --c1 100 --c2 50
+    python -m repro stats bench.npz
+    python -m repro compare bench.npz --benchmark bench.labels.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.params import ShinglingParams
+from repro.core.pipeline import cluster_graph
+from repro.eval.confusion import quality_scores
+from repro.eval.density import density_summary
+from repro.eval.partition import Partition, partition_stats
+from repro.graph.io import save_npz, timed_load
+from repro.graph.stats import compute_graph_stats
+from repro.sequence.fasta import write_fasta
+from repro.sequence.generator import SequenceFamilyConfig, generate_protein_families
+from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
+from repro.util.tables import format_percent, format_seconds, format_table
+
+
+def _params_from_args(args: argparse.Namespace) -> ShinglingParams:
+    return ShinglingParams(s1=args.s1, c1=args.c1, s2=args.s2, c2=args.c2,
+                           seed=args.seed, kernel=args.kernel)
+
+
+def _add_param_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--s1", type=int, default=2, help="pass-1 shingle size")
+    parser.add_argument("--c1", type=int, default=200, help="pass-1 trials")
+    parser.add_argument("--s2", type=int, default=2, help="pass-2 shingle size")
+    parser.add_argument("--c2", type=int, default=100, help="pass-2 trials")
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument("--kernel", choices=["select", "sort"],
+                        default="select", help="device top-s kernel")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    if args.fasta:
+        protein_set = generate_protein_families(
+            SequenceFamilyConfig(n_families=args.families), seed=args.seed)
+        path = out.with_suffix(".fasta")
+        write_fasta(protein_set.as_fasta_records(), path)
+        np.savez_compressed(out.with_suffix(".labels.npz"),
+                            labels=protein_set.family_labels)
+        print(f"wrote {protein_set.n_sequences} sequences to {path}")
+        return 0
+    planted = planted_family_graph(
+        PlantedFamilyConfig(n_families=args.families), seed=args.seed)
+    save_npz(planted.graph, out.with_suffix(".npz"))
+    save_npz(planted.gos_graph, out.with_suffix(".gos.npz"))
+    np.savez_compressed(out.with_suffix(".labels.npz"),
+                        labels=planted.family_labels)
+    print(f"wrote graph ({planted.graph.n_vertices} vertices, "
+          f"{planted.graph.n_edges} edges) to {out.with_suffix('.npz')}")
+    print(f"ground truth: {out.with_suffix('.labels.npz')}; GOS-pipeline "
+          f"view: {out.with_suffix('.gos.npz')}")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    params = _params_from_args(args)
+    result = cluster_graph(args.graph, params, backend=args.backend)
+    if args.out:
+        np.savez_compressed(args.out, labels=result.labels)
+        print(f"labels written to {args.out}")
+    summary = result.summary()
+    print(format_table(["key", "value"],
+                       [[k, str(v)] for k, v in summary.items()],
+                       title="clustering summary"))
+    t = result.timings
+    print(format_table(
+        ["component", "seconds"],
+        [[k, format_seconds(v)] for k, v in t.as_row().items()],
+        title="component breakdown"))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    graph, io_seconds = timed_load(args.graph)
+    stats = compute_graph_stats(graph)
+    print(stats.render())
+    print(f"(loaded in {format_seconds(io_seconds)}s; "
+          f"{stats.n_singletons} singleton vertices excluded)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    with np.load(args.benchmark) as data:
+        benchmark = Partition(data["labels"])
+    if args.labels:
+        with np.load(args.labels) as data:
+            test = Partition(data["labels"])
+    else:
+        params = _params_from_args(args)
+        result = cluster_graph(args.graph, params, backend=args.backend)
+        test = Partition(result.labels)
+
+    qs = quality_scores(test, benchmark, min_size=args.min_size)
+    graph, _ = timed_load(args.graph)
+    dens = density_summary(graph, test, min_size=args.min_size)
+    st = partition_stats(test, "clustering", min_size=args.min_size)
+    print(format_table(
+        ["metric", "value"],
+        [["PPV", format_percent(qs.ppv)],
+         ["NPV", format_percent(qs.npv)],
+         ["Specificity", format_percent(qs.specificity)],
+         ["Sensitivity", format_percent(qs.sensitivity)],
+         ["Density", f"{dens[0]:.2f} ± {dens[1]:.2f}"],
+         [f"#clusters(>={args.min_size})", str(st.n_groups)],
+         ["#sequences clustered", str(st.n_sequences)]],
+        title=f"quality vs. {args.benchmark}"))
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.sequence.alphabet import encode
+    from repro.sequence.fasta import read_fasta
+    from repro.sequence.homology import HomologyConfig, build_homology_graph
+
+    records = read_fasta(args.fasta)
+    sequences = [encode(seq) for _, seq in records]
+    names = [header.split()[0] for header, _ in records]
+    print(f"read {len(records)} sequences from {args.fasta}")
+
+    homology = build_homology_graph(
+        sequences,
+        HomologyConfig(pair_filter=args.pair_filter,
+                       min_normalized_score=args.min_score))
+    print(f"homology: {homology.n_candidate_pairs} candidate pairs -> "
+          f"{homology.n_edges} edges")
+
+    params = _params_from_args(args)
+    result = cluster_graph(homology.graph, params, backend=args.backend)
+    clusters = result.clusters(min_size=args.min_size)
+    rows = []
+    for i, members in enumerate(sorted(clusters, key=len, reverse=True)):
+        shown = ", ".join(names[v] for v in members[:6])
+        more = ", ..." if members.size > 6 else ""
+        rows.append([str(i), str(members.size), shown + more])
+    print(format_table(["cluster", "size", "members"], rows,
+                       title=f"clusters of size >= {args.min_size}",
+                       align=["r", "r", "l"]))
+    if args.out:
+        np.savez_compressed(args.out, labels=result.labels)
+        print(f"labels written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="gpClust reproduction: Shingling-based protein family "
+                    "identification")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate benchmark data")
+    p_gen.add_argument("--families", type=int, default=20)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True, help="output path stem")
+    p_gen.add_argument("--fasta", action="store_true",
+                       help="generate protein sequences instead of a graph")
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_cluster = sub.add_parser("cluster", help="cluster a graph file")
+    p_cluster.add_argument("graph", help="graph file (.npz or edge list)")
+    p_cluster.add_argument("--out", help="write labels to this .npz")
+    p_cluster.add_argument("--backend", choices=["device", "serial"],
+                           default="device")
+    _add_param_args(p_cluster)
+    p_cluster.set_defaults(func=cmd_cluster)
+
+    p_stats = sub.add_parser("stats", help="graph statistics (Table II)")
+    p_stats.add_argument("graph")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_cmp = sub.add_parser("compare", help="score against a benchmark")
+    p_cmp.add_argument("graph")
+    p_cmp.add_argument("--benchmark", required=True,
+                       help=".npz with a 'labels' array (ground truth)")
+    p_cmp.add_argument("--labels", help="precomputed clustering labels .npz")
+    p_cmp.add_argument("--backend", choices=["device", "serial"],
+                       default="device")
+    p_cmp.add_argument("--min-size", type=int, default=20)
+    _add_param_args(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_pipe = sub.add_parser("pipeline",
+                            help="FASTA -> homology graph -> clusters")
+    p_pipe.add_argument("fasta", help="input FASTA file of protein sequences")
+    p_pipe.add_argument("--pair-filter", choices=["kmer", "suffix"],
+                        default="kmer")
+    p_pipe.add_argument("--min-score", type=float, default=0.40,
+                        help="normalized Smith-Waterman edge threshold")
+    p_pipe.add_argument("--min-size", type=int, default=3,
+                        help="smallest cluster to report")
+    p_pipe.add_argument("--backend", choices=["device", "serial"],
+                        default="device")
+    p_pipe.add_argument("--out", help="write labels to this .npz")
+    _add_param_args(p_pipe)
+    p_pipe.set_defaults(func=cmd_pipeline)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The paper's primary contribution: two-pass Shingling clustering.
+
+Public entry points:
+
+* :func:`cluster_graph` — one-call clustering of a similarity graph;
+* :class:`GpClust` / :class:`SerialPClust` — the device-backed and serial
+  pipeline drivers;
+* :class:`ShinglingParams` — algorithm parameters (paper defaults).
+"""
+
+from repro.core.decompose import canonicalize_labels, cluster_by_components
+from repro.core.minhash import (
+    estimate_jaccard,
+    estimate_jaccard_matrix,
+    exact_jaccard,
+    minhash_signatures,
+)
+from repro.core.params import PassConfig, ShinglingParams
+from repro.core.passresult import PassResult
+from repro.core.pipeline import GpClust, SerialPClust, cluster_graph
+from repro.core.report import overlapping_clusters, partition_labels, report_clusters
+from repro.core.result import ClusterResult
+from repro.core.serial import serial_shingle_pass
+from repro.core.device_exec import device_shingle_pass
+
+__all__ = [
+    "ClusterResult",
+    "GpClust",
+    "PassConfig",
+    "PassResult",
+    "SerialPClust",
+    "ShinglingParams",
+    "canonicalize_labels",
+    "cluster_by_components",
+    "cluster_graph",
+    "device_shingle_pass",
+    "estimate_jaccard",
+    "estimate_jaccard_matrix",
+    "exact_jaccard",
+    "minhash_signatures",
+    "overlapping_clusters",
+    "partition_labels",
+    "report_clusters",
+    "serial_shingle_pass",
+]

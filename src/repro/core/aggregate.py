@@ -1,0 +1,148 @@
+"""Vectorized CPU-side aggregation: shingle occurrences -> shingle graph.
+
+"CPU is extremely efficient to handle the sophisticated programming logics,
+therefore the task of the CPU is to aggregate the data for the GPU." (Section
+III-C.)  After the device streams back per-(trial, segment) shingle
+fingerprints, the CPU must gather, for every distinct shingle ``s_j``, the
+set ``L(s_j)`` of generators — the paper implements this as a sort; we use
+``np.unique``'s sort-based grouping, the whole-array equivalent.
+
+Also home to the split-list merge: when an adjacency list was split across
+batches, the true top-``s`` minima are recovered by merging the per-chunk
+top-``s`` candidate pairs (a correct merge because the global top-``s`` is
+always contained in the union of per-chunk top-``s`` sets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.passresult import PassResult
+from repro.device.kernels import SENTINEL, unpack_pairs
+from repro.graph.bipartite import BipartiteCSR
+from repro.util.mixhash import fold_fingerprint_array
+
+
+def merge_split_pairs(chunk_pairs: list[np.ndarray], s: int) -> np.ndarray:
+    """Merge per-chunk top-``s`` packed pairs into the true top-``s``.
+
+    Parameters
+    ----------
+    chunk_pairs:
+        Per-chunk arrays, each ``(c, n_split, s)`` packed pairs padded with
+        ``SENTINEL``; all chunks aligned on the same split-segment axis.
+    s:
+        Shingle size.
+
+    Returns
+    -------
+    np.ndarray
+        ``(c, n_split, s)`` merged top-``s`` packed pairs (SENTINEL-padded
+        where the combined list is still shorter than ``s``).
+    """
+    if not chunk_pairs:
+        raise ValueError("need at least one chunk")
+    stacked = np.concatenate(chunk_pairs, axis=2)
+    stacked = np.sort(stacked, axis=2)
+    return stacked[:, :, :s]
+
+
+def fingerprints_from_pairs(pairs: np.ndarray, salts: np.ndarray) -> np.ndarray:
+    """Fingerprint packed top-``s`` pairs: ``(c, n, s)`` -> ``(c, n)``.
+
+    Used to (re)compute fingerprints of merged split segments on the CPU,
+    matching bit-for-bit what the device computes for unsplit segments.
+    """
+    _, ids = unpack_pairs(pairs)
+    return fold_fingerprint_array(ids, np.asarray(salts, dtype=np.uint64).reshape(-1, 1))
+
+
+def aggregate_pass(fps_all: np.ndarray, top_all: np.ndarray, lengths: np.ndarray,
+                   s: int, segment_ids: np.ndarray | None = None,
+                   n_segments: int | None = None) -> PassResult:
+    """Build the distinct-shingle graph from per-occurrence arrays.
+
+    Parameters
+    ----------
+    fps_all:
+        ``(c, n_rows)`` fingerprints; column ``i`` are the ``c`` shingle
+        fingerprints of row ``i``'s segment (garbage where it is too short).
+    top_all:
+        ``(c, n_rows, s)`` packed top-``s`` pairs for member extraction.
+    lengths:
+        ``(n_rows,)`` source segment lengths; only segments with
+        ``length >= s`` generate shingles (Section III-B).
+    s:
+        Shingle size.
+    segment_ids:
+        Original segment id of each row; identity when None.  Set when the
+        caller pre-compacted the input to valid segments only.
+    n_segments:
+        Total segment count in the original input (defaults to ``n_rows``).
+
+    Returns
+    -------
+    PassResult
+        Canonical (fingerprint-sorted) shingle graph; identical to what the
+        serial reference produces for the same inputs.
+    """
+    fps_all = np.asarray(fps_all, dtype=np.uint64)
+    top_all = np.asarray(top_all, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    c, n_rows = fps_all.shape
+    if top_all.shape != (c, n_rows, s):
+        raise ValueError(f"top_all shape {top_all.shape} != {(c, n_rows, s)}")
+    if lengths.shape != (n_rows,):
+        raise ValueError("lengths shape mismatch")
+    if segment_ids is None:
+        segment_ids = np.arange(n_rows, dtype=np.int64)
+    else:
+        segment_ids = np.asarray(segment_ids, dtype=np.int64)
+        if segment_ids.shape != (n_rows,):
+            raise ValueError("segment_ids shape mismatch")
+    n_seg = n_rows if n_segments is None else int(n_segments)
+
+    valid_rows = np.flatnonzero(lengths >= s)
+    if valid_rows.size == 0:
+        return PassResult(
+            fingerprints=np.empty(0, dtype=np.uint64),
+            members=np.empty((0, s), dtype=np.int64),
+            gen_graph=BipartiteCSR.from_lists([], n_right=n_seg),
+            n_input_segments=n_seg,
+        )
+
+    fp_flat = fps_all[:, valid_rows].ravel()
+    _, ids = unpack_pairs(top_all[:, valid_rows, :])
+    members_flat = ids.reshape(-1, s).astype(np.int64)
+    gen_flat = np.tile(segment_ids[valid_rows], c)
+
+    uniq, first_idx, inverse = np.unique(fp_flat, return_index=True, return_inverse=True)
+    members = members_flat[first_idx]
+
+    # Gather sorted, deduplicated generator lists per distinct shingle.
+    order = np.lexsort((gen_flat, inverse))
+    inv_sorted = inverse[order]
+    gen_sorted = gen_flat[order]
+    keep = np.ones(inv_sorted.size, dtype=bool)
+    keep[1:] = (inv_sorted[1:] != inv_sorted[:-1]) | (gen_sorted[1:] != gen_sorted[:-1])
+    inv_dedup = inv_sorted[keep]
+    gen_dedup = gen_sorted[keep]
+    counts = np.bincount(inv_dedup, minlength=uniq.size)
+    indptr = np.zeros(uniq.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    gen_graph = BipartiteCSR(indptr, gen_dedup, n_right=n_seg, validate=False)
+
+    result = PassResult(fingerprints=uniq, members=members,
+                        gen_graph=gen_graph, n_input_segments=n_seg)
+    _check_no_sentinel_members(result, s)
+    return result
+
+
+def _check_no_sentinel_members(result: PassResult, s: int) -> None:
+    """Sanity check: valid segments must never yield SENTINEL-padded members."""
+    if result.members.size:
+        if np.any(result.members.astype(np.uint64) == (SENTINEL & np.uint64(0xFFFFFFFF))):
+            raise AssertionError(
+                "sentinel id leaked into shingle members — a segment shorter "
+                "than s was treated as valid"
+            )

@@ -1,0 +1,168 @@
+"""Device-path execution of one shingling pass (Algorithm 2's inner loops).
+
+The driver here is the CPU side of the paper's computing framework
+(Figure 3): it partitions the input adjacency structure into device-sized
+batches, uploads them, launches the shingle-extraction kernels, and
+aggregates the downloaded shingles — including the merge of adjacency lists
+that were split across batches.
+
+Every step is charged to the right Table-I bucket: batch planning and
+aggregation to ``cpu``, kernel work to ``gpu`` (inside the device facade),
+transfers to ``data_c2g``/``data_g2c``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.aggregate import aggregate_pass, fingerprints_from_pairs
+from repro.core.params import PassConfig
+from repro.core.passresult import PassResult
+from repro.device.batching import max_batch_elements, plan_batches
+from repro.device.device import SimulatedDevice
+from repro.device.kernels import SENTINEL
+from repro.util.timer import BUCKET_CPU
+
+
+def device_shingle_pass(
+    indptr: np.ndarray,
+    elements: np.ndarray,
+    config: PassConfig,
+    device: SimulatedDevice,
+    *,
+    kernel: str = "select",
+    trial_chunk: int = 16,
+    max_elements: int | None = None,
+    prefetch: bool = False,
+) -> PassResult:
+    """Run one full shingling pass through the simulated device.
+
+    Parameters
+    ----------
+    indptr, elements:
+        Input adjacency structure in CSR form.
+    config:
+        Pass configuration (s, c, hash pairs, salts).
+    device:
+        The simulated device; its breakdown accumulates component times.
+    kernel, trial_chunk:
+        Kernel selection and trials-per-round (see :class:`SimulatedDevice`).
+    max_elements:
+        Batch element budget override; by default derived from the device's
+        memory capacity.
+    prefetch:
+        Asynchronous double-buffered transfers — the paper's stated future
+        work ("better performance could be achieved through asynchronous
+        operations provided in CUDA C/C++").  The next batch's upload runs
+        on a copy thread while the current batch computes; the element
+        budget is halved because double buffering keeps two batches resident.
+
+    Returns
+    -------
+    PassResult
+        Identical to :func:`repro.core.serial.serial_shingle_pass` on the
+        same inputs and configuration.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    elements = np.asarray(elements, dtype=np.int64)
+    breakdown = device.breakdown
+    s, c = config.s, config.c
+    a, b, salts = config.a_array, config.b_array, config.salts
+
+    with breakdown.timing(BUCKET_CPU):
+        if max_elements is None:
+            max_elements = max_batch_elements(
+                device.spec.memory_capacity_bytes, trial_chunk, s)
+        if prefetch:
+            max_elements = max(max_elements // 2, 1)  # double buffering
+        all_lengths = np.diff(indptr)
+        n_seg = all_lengths.size
+        # CPU-side compaction: segments shorter than s generate no shingles
+        # (Section III-B: shingles exist only for "any vertex ... that has
+        # at least s links"), so they never ship to the device.  The serial
+        # reference skips them the same way.
+        valid = all_lengths >= s
+        valid_ids = np.flatnonzero(valid)
+        lengths = all_lengths[valid_ids]
+        elements = elements[np.repeat(valid, all_lengths)]
+        compact_indptr = np.zeros(valid_ids.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=compact_indptr[1:])
+
+        plan = plan_batches(compact_indptr, max_elements)
+        n_rows = valid_ids.size
+        fps_all = np.zeros((c, n_rows), dtype=np.uint64)
+        top_all = np.full((c, n_rows, s), SENTINEL, dtype=np.uint64)
+        # compact row id -> list of (c, s) packed top-s arrays, one per chunk
+        split_chunks: dict[int, list[np.ndarray]] = {}
+
+    def _upload(batch):
+        return (device.upload(batch.slice_elements(elements)),
+                device.upload(batch.local_indptr))
+
+    executor = ThreadPoolExecutor(max_workers=1) if prefetch else None
+    pending = None
+    try:
+        for bi, batch in enumerate(plan):
+            if executor is None:
+                d_elem, d_indptr = _upload(batch)
+            else:
+                # Double buffering: this batch was prefetched during the
+                # previous batch's kernels; kick off the next one now.
+                d_elem, d_indptr = (pending.result() if pending is not None
+                                    else _upload(batch))
+                pending = (executor.submit(_upload, plan.batches[bi + 1])
+                           if bi + 1 < plan.n_batches else None)
+            fps_b, top_b = device.shingle_batch(
+                d_elem, d_indptr, a=a, b=b, prime=config.prime, s=s,
+                salts=salts, kernel=kernel, trial_chunk=trial_chunk)
+            device.free(d_elem, d_indptr)
+
+            with breakdown.timing(BUCKET_CPU):
+                whole = ~batch.is_split
+                if whole.any():
+                    seg_ids = batch.segment_ids[whole]
+                    fps_all[:, seg_ids] = fps_b[:, whole]
+                    top_all[:, seg_ids, :] = top_b[:, whole, :]
+                for local_idx in np.flatnonzero(batch.is_split):
+                    src = int(batch.segment_ids[local_idx])
+                    split_chunks.setdefault(src, []).append(top_b[:, local_idx, :])
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    with breakdown.timing(BUCKET_CPU):
+        if split_chunks:
+            _merge_splits_into(fps_all, top_all, split_chunks, s, salts)
+        result = aggregate_pass(fps_all, top_all, lengths, s,
+                                segment_ids=valid_ids, n_segments=n_seg)
+    return result
+
+
+def _merge_splits_into(
+    fps_all: np.ndarray,
+    top_all: np.ndarray,
+    split_chunks: dict[int, list[np.ndarray]],
+    s: int,
+    salts: np.ndarray,
+) -> None:
+    """Merge per-chunk top-s candidates of split lists; fix fps in place.
+
+    This is the paper's CPU aggregation step that "will remember this case
+    and merge the different copies of shingles into one correct copy for the
+    split adjacency list".  The global top-``s`` of a list is always
+    contained in the union of its chunks' top-``s`` sets, so sorting the
+    padded candidate block and keeping the first ``s`` recovers it exactly.
+    """
+    split_ids = np.array(sorted(split_chunks), dtype=np.int64)
+    c = fps_all.shape[0]
+    max_pieces = max(len(v) for v in split_chunks.values())
+    block = np.full((c, split_ids.size, max_pieces * s), SENTINEL, dtype=np.uint64)
+    for col, src in enumerate(split_ids.tolist()):
+        for piece, pairs in enumerate(split_chunks[src]):
+            block[:, col, piece * s:(piece + 1) * s] = pairs
+    block.sort(axis=2)
+    merged = block[:, :, :s]
+    top_all[:, split_ids, :] = merged
+    fps_all[:, split_ids] = fingerprints_from_pairs(merged, salts)

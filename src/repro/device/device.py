@@ -1,0 +1,184 @@
+"""The simulated device facade.
+
+Combines device memory, transfer accounting, and the data-parallel kernels
+into the interface the gpClust driver programs against.  Responsibilities
+mirror a CUDA device used through Thrust:
+
+* ``upload``/``download`` move arrays across the (simulated) PCIe link,
+  charging wall time to the ``data_c2g``/``data_g2c`` buckets and modeled
+  seconds to the transfer model — synchronously, as the paper's Thrust 1.5
+  does ("the data movement operations are implemented using synchronous
+  mechanism, and the overhead ... is unavoidable");
+* ``shingle_batch`` executes Algorithm 1 (the per-batch shingle extraction)
+  on "device-resident" data, charging the ``gpu`` bucket, and streams each
+  trial round's results back to the host — the paper transfers generated
+  shingles back "after each iteration for the immediate processing on the
+  CPU side", which also keeps the device working set small.
+
+The facade never touches host-side graph structures: the driver uploads each
+batch's flat element buffer and its boundary array first, exactly as Figure 4
+describes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.device import kernels
+from repro.device.memory import DeviceBuffer, DeviceMemory
+from repro.device.timingmodels import DeviceSpec
+from repro.util.timer import BUCKET_C2G, BUCKET_G2C, BUCKET_GPU, TimeBreakdown
+
+
+class SimulatedDevice:
+    """A K20-like device: limited memory, explicit transfers, bulk kernels."""
+
+    def __init__(self, spec: DeviceSpec | None = None,
+                 breakdown: TimeBreakdown | None = None,
+                 timeline=None) -> None:
+        self.spec = spec or DeviceSpec()
+        self.memory = DeviceMemory(self.spec.memory_capacity_bytes, self.spec.transfer)
+        self.breakdown = breakdown if breakdown is not None else TimeBreakdown()
+        # Optional repro.device.timeline.Timeline recording the modeled
+        # schedule of every transfer and kernel round.
+        self.timeline = timeline
+
+    def set_breakdown(self, breakdown: TimeBreakdown) -> None:
+        """Point timing accumulation at a fresh breakdown (per pipeline run)."""
+        self.breakdown = breakdown
+
+    # ------------------------------------------------------------------ #
+    # Transfers
+    # ------------------------------------------------------------------ #
+
+    def upload(self, host_array: np.ndarray) -> DeviceBuffer:
+        """Host -> device copy (synchronous), charged to ``data_c2g``."""
+        t0 = time.perf_counter()
+        buf, modeled = self.memory.to_device(host_array)
+        self.breakdown.add(BUCKET_C2G, time.perf_counter() - t0)
+        self.breakdown.add_modeled(BUCKET_C2G, modeled)
+        if self.timeline is not None:
+            self.timeline.record(BUCKET_C2G, "upload", modeled)
+        return buf
+
+    def download(self, buffer: DeviceBuffer) -> np.ndarray:
+        """Device -> host copy (synchronous), charged to ``data_g2c``."""
+        t0 = time.perf_counter()
+        data, modeled = self.memory.to_host(buffer)
+        self.breakdown.add(BUCKET_G2C, time.perf_counter() - t0)
+        self.breakdown.add_modeled(BUCKET_G2C, modeled)
+        if self.timeline is not None:
+            self.timeline.record(BUCKET_G2C, "download", modeled)
+        return data
+
+    def free(self, *buffers: DeviceBuffer) -> None:
+        for buf in buffers:
+            buf.free()
+
+    # ------------------------------------------------------------------ #
+    # Shingle extraction (Algorithm 1)
+    # ------------------------------------------------------------------ #
+
+    def shingle_batch(
+        self,
+        d_elements: DeviceBuffer,
+        d_indptr: DeviceBuffer,
+        *,
+        a: np.ndarray,
+        b: np.ndarray,
+        prime: int,
+        s: int,
+        salts: np.ndarray,
+        kernel: str = "select",
+        trial_chunk: int = 16,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run all ``c`` shingling trials over one uploaded batch.
+
+        Parameters
+        ----------
+        d_elements:
+            Device buffer holding the batch's flat element ids.
+        d_indptr:
+            Device buffer holding the batch-local segment boundaries (the
+            "auxiliary data structure ... to mark the boundaries of each
+            adjacency list" of Section III-C).
+        a, b:
+            ``(c,)`` hash-pair coefficient arrays (kernel parameters; small
+            enough to ride along with launches, not counted as transfers).
+        prime:
+            Min-wise hash modulus ``P``.
+        s:
+            Shingle size.
+        salts:
+            ``(c,)`` per-trial fingerprint salts.
+        kernel:
+            ``"select"`` (s-round segmented min) or ``"sort"`` (full
+            segmented sort, the Thrust-faithful reference).
+        trial_chunk:
+            Trials per kernel round; bounds the device working set.
+
+        Returns
+        -------
+        (fps, top):
+            Host arrays — ``fps`` is ``(c, n_segments)`` uint64 shingle
+            fingerprints; ``top`` is ``(c, n_segments, s)`` packed
+            (hash, id) top-``s`` pairs (``SENTINEL``-padded for segments
+            shorter than ``s``).  Each trial round's slice was produced on
+            the device and downloaded synchronously.
+        """
+        if kernel not in ("select", "sort"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        if trial_chunk < 1:
+            raise ValueError("trial_chunk must be >= 1")
+        c = len(a)
+        if not (len(b) == len(salts) == c):
+            raise ValueError("a, b, salts must have equal length")
+
+        elements = d_elements.device_view()
+        indptr = d_indptr.device_view().astype(np.int64, copy=False)
+        n_seg = indptr.size - 1
+        nnz = elements.size
+
+        fps_host = np.empty((c, n_seg), dtype=np.uint64)
+        top_host = np.empty((c, n_seg, s), dtype=np.uint64)
+
+        select_fn = (kernels.segmented_select_top_s if kernel == "select"
+                     else kernels.segmented_sort_top_s)
+        kernel_class = "sort" if kernel == "sort" else "select"
+
+        for lo in range(0, c, trial_chunk):
+            hi = min(lo + trial_chunk, c)
+            t = hi - lo
+
+            t0 = time.perf_counter()
+            hashed = kernels.affine_hash(elements, a[lo:hi], b[lo:hi], prime)
+            packed = kernels.pack_pairs(hashed, elements)
+            d_work = self.memory.adopt(packed)       # working set on device
+            top = select_fn(packed, indptr, s)       # (t, n_seg, s)
+            _, top_ids = kernels.unpack_pairs(top)
+            fps = kernels.fold_fingerprints(
+                top_ids, np.asarray(salts[lo:hi], dtype=np.uint64))
+            d_top = self.memory.adopt(top)
+            d_fps = self.memory.adopt(fps)
+            self.breakdown.add(BUCKET_GPU, time.perf_counter() - t0)
+            modeled_gpu = (
+                self.spec.kernels.seconds_for("transform", t * nnz)
+                + self.spec.kernels.seconds_for(
+                    kernel_class,
+                    kernels.count_kernel_elements(kernel_class, t, nnz, n_seg, s))
+                + self.spec.kernels.seconds_for(
+                    "reduce",
+                    kernels.count_kernel_elements("reduce", t, nnz, n_seg, s)))
+            self.breakdown.add_modeled(BUCKET_GPU, modeled_gpu)
+            if self.timeline is not None:
+                self.timeline.record(BUCKET_GPU, f"trials {lo}-{hi - 1}",
+                                     modeled_gpu)
+
+            # Transfer this round's shingles back immediately (synchronous).
+            top_host[lo:hi] = self.download(d_top)
+            fps_host[lo:hi] = self.download(d_fps)
+            self.free(d_work, d_top, d_fps)
+
+        return fps_host, top_host

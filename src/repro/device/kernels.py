@@ -1,0 +1,218 @@
+"""Data-parallel device kernels.
+
+Each function here is the NumPy analogue of one GPU kernel launch from
+Figure 4 of the paper: whole-array operations over a *batch* of adjacency
+lists stored as one contiguous buffer plus an ``indptr`` boundary array —
+never a per-element interpreted loop.  The kernels are pure functions over
+ndarrays; :class:`repro.device.device.SimulatedDevice` wraps them with device
+buffers, timing, and cost-model accounting.
+
+Kernel inventory
+----------------
+``affine_hash``
+    ``thrust::transform`` analogue: ``h_j(v) = (A_j*v + B_j) mod P`` for a
+    chunk of trials ``j`` at once (one row per trial).
+``pack_pairs`` / ``unpack_pairs``
+    Pack (hash, id) into one uint64 so a single segmented min yields both the
+    minimum hash and its original element.
+``segmented_sort_top_s``
+    ``thrust::sort`` analogue: stable segmented sort, then take each
+    segment's first ``s`` entries.  Reference implementation.
+``segmented_select_top_s``
+    Optimized selection: ``s`` rounds of segmented min (``ufunc.reduceat``)
+    with masking.  O(s*n) instead of O(n log n); produces identical output.
+``fold_fingerprints``
+    ``thrust::transform`` analogue folding each segment's top-``s`` ids into
+    a 64-bit shingle fingerprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.mixhash import fold_fingerprint_array
+
+#: Sentinel marking "no element": larger than any packed (hash, id) pair.
+SENTINEL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Bits reserved for the element id in a packed pair.
+_ID_BITS = np.uint64(32)
+_ID_MASK = np.uint64((1 << 32) - 1)
+
+
+def affine_hash(values: np.ndarray, a: np.ndarray, b: np.ndarray, prime: int) -> np.ndarray:
+    """Min-wise hash a flat element buffer under a chunk of trials.
+
+    Parameters
+    ----------
+    values:
+        ``(nnz,)`` element ids (all ``< prime``).
+    a, b:
+        ``(T,)`` per-trial hash coefficients.
+    prime:
+        The modulus ``P``.
+
+    Returns
+    -------
+    np.ndarray
+        ``(T, nnz)`` uint64 hashed values, row ``t`` = trial ``t``.
+    """
+    v = np.asarray(values, dtype=np.uint64)
+    a = np.asarray(a, dtype=np.uint64).reshape(-1, 1)
+    b = np.asarray(b, dtype=np.uint64).reshape(-1, 1)
+    if prime <= 0 or prime > (1 << 31) + (1 << 20):
+        # Products a*v must stay below 2**64: both factors < ~2**31.5.
+        raise ValueError(f"prime {prime} outside supported range")
+    with np.errstate(over="ignore"):
+        return (a * v + b) % np.uint64(prime)
+
+
+def pack_pairs(hashed: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Pack ``(hash, id)`` into ``hash << 32 | id`` (uint64).
+
+    Requires ``hash < 2**31`` (guaranteed by the prime bound) and
+    ``id < 2**32``.  Ordering packed pairs orders primarily by hash, with the
+    id as a deterministic tiebreaker — though within one adjacency list ties
+    cannot occur because the affine map is injective mod P.
+    """
+    ids = np.asarray(ids, dtype=np.uint64)
+    if ids.size and int(ids.max()) >> 32:
+        raise ValueError("element ids must fit in 32 bits")
+    return (np.asarray(hashed, dtype=np.uint64) << _ID_BITS) | ids
+
+
+def unpack_pairs(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_pairs`: returns ``(hash, id)`` arrays."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    return packed >> _ID_BITS, packed & _ID_MASK
+
+
+def _segment_geometry(indptr: np.ndarray, nnz: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Common precomputation: (starts, lengths, empty_mask).
+
+    ``starts`` is ``indptr[:-1]`` unmodified; trailing empty segments have
+    ``start == nnz``, which is NOT a valid ``reduceat`` index — callers must
+    restrict reduceat to the prefix of segments with ``start < nnz`` (they
+    form a suffix of empties, handled via the empty mask).  Clipping the
+    invalid starts instead would silently shrink the *previous* segment's
+    reduceat window.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    if indptr[0] != 0 or indptr[-1] != nnz or np.any(np.diff(indptr) < 0):
+        raise ValueError("invalid indptr for segment buffer")
+    lengths = np.diff(indptr)
+    return indptr[:-1], lengths, lengths == 0
+
+
+def segmented_select_top_s(packed: np.ndarray, indptr: np.ndarray, s: int) -> np.ndarray:
+    """Top-``s`` smallest packed pairs per segment via s rounds of segmented min.
+
+    Parameters
+    ----------
+    packed:
+        ``(T, nnz)`` packed pairs (one row per trial).  Not modified.
+    indptr:
+        ``(n_seg + 1,)`` segment boundaries within each row.
+    s:
+        Number of minima to extract per segment.
+
+    Returns
+    -------
+    np.ndarray
+        ``(T, n_seg, s)`` uint64; position ``[t, i, r]`` holds the r-th
+        smallest pair of segment ``i`` under trial ``t``, or ``SENTINEL``
+        when the segment has fewer than ``r+1`` elements.
+    """
+    packed = np.array(packed, dtype=np.uint64, ndmin=2, copy=True)
+    n_trials, nnz = packed.shape
+    starts, lengths, empty = _segment_geometry(indptr, nnz)
+    n_seg = lengths.size
+    out = np.full((n_trials, n_seg, s), SENTINEL, dtype=np.uint64)
+    if nnz == 0 or n_seg == 0:
+        return out
+    # Trailing empty segments have start == nnz (invalid for reduceat);
+    # they are a suffix, so reduce over the valid prefix only.
+    n_valid = int(np.searchsorted(starts, nnz, side="left"))
+    for r in range(s):
+        segmin = np.full((n_trials, n_seg), SENTINEL, dtype=np.uint64)
+        segmin[:, :n_valid] = np.minimum.reduceat(packed, starts[:n_valid], axis=1)
+        segmin[:, empty] = SENTINEL
+        out[:, :, r] = segmin
+        if r + 1 == s:
+            break
+        # Mask each extracted minimum so the next round finds the runner-up.
+        expanded = np.repeat(segmin, lengths, axis=1)
+        packed[packed == expanded] = SENTINEL
+    return out
+
+
+def segmented_sort_top_s(packed: np.ndarray, indptr: np.ndarray, s: int) -> np.ndarray:
+    """Reference implementation: full segmented sort, then gather top ``s``.
+
+    Mirrors the paper's Thrust pipeline (transform then ``thrust::sort`` of
+    the whole batch with segment keys).  Output is identical to
+    :func:`segmented_select_top_s`.
+    """
+    packed = np.array(packed, dtype=np.uint64, ndmin=2)
+    n_trials, nnz = packed.shape
+    indptr = np.asarray(indptr, dtype=np.int64)
+    _, lengths, _ = _segment_geometry(indptr, nnz)
+    n_seg = lengths.size
+    out = np.full((n_trials, n_seg, s), SENTINEL, dtype=np.uint64)
+    if nnz == 0 or n_seg == 0:
+        return out
+    seg_ids = np.repeat(np.arange(n_seg, dtype=np.int64), lengths)
+    take = np.minimum(lengths, s)
+    # Destination coordinates of the top-s entries of every segment.
+    dst_seg = np.repeat(np.arange(n_seg, dtype=np.int64), take)
+    dst_rank = _ranks_within(take)
+    src_pos = np.repeat(indptr[:-1], take) + dst_rank
+    for t in range(n_trials):
+        order = np.lexsort((packed[t], seg_ids))
+        sorted_row = packed[t, order]
+        out[t, dst_seg, dst_rank] = sorted_row[src_pos]
+    return out
+
+
+def _ranks_within(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0-1, 0..c1-1, ...]`` for a counts array (vectorized iota)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    idx = np.arange(total, dtype=np.int64)
+    seg_start = np.repeat(ends - counts, counts)
+    return idx - seg_start
+
+
+def fold_fingerprints(top_ids: np.ndarray, salts: np.ndarray) -> np.ndarray:
+    """Fold each segment's top-``s`` ids into a shingle fingerprint.
+
+    Parameters
+    ----------
+    top_ids:
+        ``(T, n_seg, s)`` ids in min-hash order.
+    salts:
+        ``(T,)`` per-trial salts.
+
+    Returns
+    -------
+    np.ndarray
+        ``(T, n_seg)`` uint64 fingerprints.
+    """
+    top_ids = np.asarray(top_ids, dtype=np.uint64)
+    salts = np.asarray(salts, dtype=np.uint64).reshape(-1, 1)
+    return fold_fingerprint_array(top_ids, salts)
+
+
+def count_kernel_elements(kernel: str, n_trials: int, nnz: int, n_seg: int, s: int) -> int:
+    """Element counts fed to the kernel cost model, per kernel class."""
+    if kernel == "transform":
+        return n_trials * nnz
+    if kernel == "sort":
+        return n_trials * nnz
+    if kernel == "select":
+        return n_trials * nnz * s
+    if kernel == "reduce":
+        return n_trials * n_seg * s
+    raise ValueError(f"unknown kernel class {kernel!r}")

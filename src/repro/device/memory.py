@@ -1,0 +1,141 @@
+"""Capacity-limited device memory with explicit transfers.
+
+The CPU and GPU "cannot directly access each other's memory space" (Section
+II of the paper); all movement goes through copy operations whose cost Table I
+accounts separately.  :class:`DeviceMemory` enforces both properties for the
+simulated device:
+
+* allocations beyond the configured capacity raise :class:`DeviceMemoryError`
+  (this is what forces the batch planner to split large graphs, exactly as
+  the K20's 5 GB forces batching of the 2M graph);
+* :class:`DeviceBuffer` hides its storage behind a device-only accessor so
+  host-side code paths cannot silently bypass the transfer step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.timingmodels import TransferModel
+
+
+class DeviceMemoryError(MemoryError):
+    """Raised when an allocation would exceed device memory capacity."""
+
+
+class DeviceBuffer:
+    """A device-resident array.
+
+    Host code must use :meth:`DeviceMemory.to_host` to read its contents;
+    kernels (which receive the buffer explicitly) use :meth:`device_view`.
+    """
+
+    __slots__ = ("_array", "_pool", "_freed")
+
+    def __init__(self, array: np.ndarray, pool: "DeviceMemory") -> None:
+        self._array = array
+        self._pool = pool
+        self._freed = False
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._array.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._array.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self._array.nbytes
+
+    def device_view(self) -> np.ndarray:
+        """The raw storage — for kernel code only, never host logic."""
+        if self._freed:
+            raise RuntimeError("use-after-free of device buffer")
+        return self._array
+
+    def free(self) -> None:
+        """Return this buffer's bytes to the pool."""
+        if not self._freed:
+            self._pool._release(self.nbytes)
+            self._freed = True
+
+    def __repr__(self) -> str:
+        state = "freed" if self._freed else f"{self.nbytes} B"
+        return f"DeviceBuffer(shape={self.shape}, dtype={self.dtype}, {state})"
+
+
+class DeviceMemory:
+    """Allocator for device global memory with a hard capacity."""
+
+    def __init__(self, capacity_bytes: int, transfer_model: TransferModel | None = None) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be > 0")
+        self.capacity_bytes = int(capacity_bytes)
+        self.used_bytes = 0
+        self.peak_bytes = 0
+        self.transfer_model = transfer_model or TransferModel()
+        # Transfer accounting (bytes), inspected by benchmarks.
+        self.bytes_to_device = 0
+        self.bytes_to_host = 0
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def _reserve(self, nbytes: int) -> None:
+        if nbytes > self.free_bytes:
+            raise DeviceMemoryError(
+                f"device OOM: requested {nbytes} B with {self.free_bytes} B free "
+                f"of {self.capacity_bytes} B"
+            )
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+
+    def _release(self, nbytes: int) -> None:
+        self.used_bytes -= nbytes
+        if self.used_bytes < 0:
+            raise RuntimeError("device memory accounting underflow")
+
+    def alloc(self, shape: tuple[int, ...] | int, dtype=np.uint64) -> DeviceBuffer:
+        """Allocate an uninitialized device buffer."""
+        probe = np.empty(shape, dtype=dtype)
+        self._reserve(probe.nbytes)
+        return DeviceBuffer(probe, self)
+
+    def adopt(self, array: np.ndarray) -> DeviceBuffer:
+        """Wrap a kernel-produced array as a device-resident buffer.
+
+        Kernels run "on the device" and their outputs are device-resident by
+        construction; adopting reserves their bytes against capacity (raising
+        :class:`DeviceMemoryError` on overflow) without a host<->device copy.
+        """
+        self._reserve(array.nbytes)
+        return DeviceBuffer(array, self)
+
+    def to_device(self, host_array: np.ndarray) -> tuple[DeviceBuffer, float]:
+        """Copy a host array into a fresh device buffer.
+
+        Returns the buffer and the *modeled* PCIe seconds for the copy; the
+        caller measures wall time around this call for the measured bucket.
+        """
+        host_array = np.ascontiguousarray(host_array)
+        self._reserve(host_array.nbytes)
+        buf = DeviceBuffer(host_array.copy(), self)
+        self.bytes_to_device += host_array.nbytes
+        return buf, self.transfer_model.seconds_for(host_array.nbytes)
+
+    def to_host(self, buffer: DeviceBuffer) -> tuple[np.ndarray, float]:
+        """Copy a device buffer back to host memory.
+
+        Returns the host array and the modeled PCIe seconds.
+        """
+        data = buffer.device_view().copy()
+        self.bytes_to_host += data.nbytes
+        return data, self.transfer_model.seconds_for(data.nbytes)
+
+    def reset_counters(self) -> None:
+        self.bytes_to_device = 0
+        self.bytes_to_host = 0
+        self.peak_bytes = self.used_bytes

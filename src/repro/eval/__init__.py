@@ -1,0 +1,42 @@
+"""Quality evaluation: the measurements of Section IV-D.
+
+* :class:`Partition` — a clustering over a fixed vertex universe, with the
+  paper's ``size >= 20`` reporting filter;
+* :func:`pair_confusion` + :class:`QualityScores` — pairwise TP/FP/FN/TN
+  classification and the derived PPV/NPV/SP/SE (Equations 2-5, Table III);
+* :func:`cluster_densities` — intra-cluster density (Equation 6);
+* :func:`size_distribution` — the Figure 5 group-size and sequence-count
+  histograms;
+* :func:`partition_stats` — the Table IV partition statistics.
+"""
+
+from repro.eval.confusion import PairConfusion, QualityScores, pair_confusion, quality_scores
+from repro.eval.density import cluster_densities, density_summary
+from repro.eval.distribution import FIG5_BINS, size_distribution
+from repro.eval.external import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    pair_f1,
+    purity,
+)
+from repro.eval.partition import Partition, partition_stats
+from repro.eval.report import ComparisonReport, MethodReport
+
+__all__ = [
+    "ComparisonReport",
+    "FIG5_BINS",
+    "MethodReport",
+    "PairConfusion",
+    "Partition",
+    "QualityScores",
+    "adjusted_rand_index",
+    "cluster_densities",
+    "density_summary",
+    "normalized_mutual_information",
+    "pair_confusion",
+    "pair_f1",
+    "partition_stats",
+    "purity",
+    "quality_scores",
+    "size_distribution",
+]

@@ -1,0 +1,51 @@
+"""Intra-cluster density (Equation 6).
+
+``density = #(edges in a cluster) / (total number of possible edges)`` —
+the paper uses it to show gpClust clusters (0.75 ± 0.28) are tighter than
+the GOS partition's (0.40 ± 0.27), with the loosely-defined benchmark
+families at only 0.09 ± 0.12.  The paper also warns that density alone
+cannot rank methods (all-singletons would score 1.0), so this module scores
+only clusters above a size threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.partition import Partition
+from repro.graph.csr import CSRGraph
+
+
+def cluster_densities(graph: CSRGraph, partition: Partition,
+                      min_size: int = 20) -> np.ndarray:
+    """Density of each group with ``size >= min_size``.
+
+    Returns one density per qualifying group, ordered by group label.
+    """
+    if partition.n_vertices != graph.n_vertices:
+        raise ValueError("partition universe must match graph vertex count")
+    labels = partition.labels
+    sizes = partition.group_sizes()
+    # Density is undefined for singletons (0 possible edges); they are
+    # excluded regardless of min_size.
+    qualifying = np.flatnonzero(sizes >= max(min_size, 2))
+    if qualifying.size == 0:
+        return np.zeros(0, dtype=np.float64)
+
+    edges = graph.edges()
+    same = labels[edges[:, 0]] == labels[edges[:, 1]]
+    internal = np.bincount(labels[edges[:, 0]][same], minlength=sizes.size)
+
+    k = sizes[qualifying].astype(np.float64)
+    possible = k * (k - 1) / 2.0
+    return internal[qualifying] / possible
+
+
+def density_summary(graph: CSRGraph, partition: Partition,
+                    min_size: int = 20) -> tuple[float, float]:
+    """``(mean, std)`` of qualifying cluster densities — the paper's
+    ``0.75 ± 0.28`` style numbers."""
+    densities = cluster_densities(graph, partition, min_size=min_size)
+    if densities.size == 0:
+        return 0.0, 0.0
+    return float(densities.mean()), float(densities.std())

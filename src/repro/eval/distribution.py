@@ -1,0 +1,66 @@
+"""Group-size distributions (Figure 5).
+
+Figure 5(a) plots the number of groups per size bin; Figure 5(b) plots the
+number of sequences per size bin, for the gpClust and GOS partitions.  The
+bins follow the paper's axis labels:
+
+    20-49, 50-99, 100-199, 200-499, 500-999, 1000-2000, >2000
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.partition import Partition
+
+#: (low, high) inclusive bin bounds from Figure 5; None means unbounded.
+FIG5_BINS: tuple[tuple[int, int | None], ...] = (
+    (20, 49),
+    (50, 99),
+    (100, 199),
+    (200, 499),
+    (500, 999),
+    (1000, 2000),
+    (2001, None),
+)
+
+
+def bin_label(bounds: tuple[int, int | None]) -> str:
+    lo, hi = bounds
+    return f">{lo - 1}" if hi is None else f"{lo}-{hi}"
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """Per-bin group counts and sequence counts for one partition."""
+
+    bins: tuple[tuple[int, int | None], ...]
+    group_counts: np.ndarray      # Figure 5(a) series
+    sequence_counts: np.ndarray   # Figure 5(b) series
+
+    def labels(self) -> list[str]:
+        return [bin_label(b) for b in self.bins]
+
+    @property
+    def total_groups(self) -> int:
+        return int(self.group_counts.sum())
+
+    @property
+    def total_sequences(self) -> int:
+        return int(self.sequence_counts.sum())
+
+
+def size_distribution(partition: Partition,
+                      bins: tuple[tuple[int, int | None], ...] = FIG5_BINS) -> SizeDistribution:
+    """Histogram group sizes into the Figure 5 bins."""
+    sizes = partition.group_sizes()
+    group_counts = np.zeros(len(bins), dtype=np.int64)
+    seq_counts = np.zeros(len(bins), dtype=np.int64)
+    for i, (lo, hi) in enumerate(bins):
+        mask = sizes >= lo if hi is None else (sizes >= lo) & (sizes <= hi)
+        group_counts[i] = int(mask.sum())
+        seq_counts[i] = int(sizes[mask].sum())
+    return SizeDistribution(bins=bins, group_counts=group_counts,
+                            sequence_counts=seq_counts)

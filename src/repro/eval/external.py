@@ -1,0 +1,87 @@
+"""Standard external clustering indices beyond the paper's PPV/NPV/SP/SE.
+
+The paper scores partitions with pairwise predictive values (Equations 2-5);
+downstream users usually also want the textbook indices.  All are computed
+from the same contingency machinery as :mod:`repro.eval.confusion` — exact,
+and never enumerating O(n^2) pairs.
+
+* :func:`adjusted_rand_index` — chance-corrected pair agreement (Hubert &
+  Arabie 1985);
+* :func:`normalized_mutual_information` — information-theoretic agreement;
+* :func:`purity` — fraction of vertices in their cluster's majority family;
+* :func:`pair_f1` — harmonic mean of pairwise precision (PPV) and recall
+  (SE), a single-number summary of the Table III trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.confusion import pair_confusion
+from repro.eval.partition import Partition
+
+
+def _contingency(test: Partition, benchmark: Partition) -> np.ndarray:
+    """Dense contingency table: rows = test groups, cols = benchmark."""
+    if test.n_vertices != benchmark.n_vertices:
+        raise ValueError("partitions cover different universes")
+    t, b = test.labels, benchmark.labels
+    n_t = int(t.max()) + 1 if t.size else 0
+    n_b = int(b.max()) + 1 if b.size else 0
+    table = np.zeros((n_t, n_b), dtype=np.int64)
+    np.add.at(table, (t, b), 1)
+    return table
+
+
+def adjusted_rand_index(test: Partition, benchmark: Partition) -> float:
+    """ARI in [-1, 1]; 1 iff identical partitions, ~0 for random labels."""
+    conf = pair_confusion(test, benchmark)
+    n_pairs = conf.total
+    if n_pairs == 0:
+        return 1.0
+    sum_ab = conf.tp
+    sum_a = conf.tp + conf.fp    # co-clustered in test
+    sum_b = conf.tp + conf.fn    # co-clustered in benchmark
+    expected = sum_a * sum_b / n_pairs
+    max_index = (sum_a + sum_b) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_ab - expected) / (max_index - expected))
+
+
+def normalized_mutual_information(test: Partition, benchmark: Partition) -> float:
+    """NMI (arithmetic normalization) in [0, 1]."""
+    table = _contingency(test, benchmark)
+    n = table.sum()
+    if n == 0:
+        return 1.0
+    pij = table / n
+    pi = pij.sum(axis=1)
+    pj = pij.sum(axis=0)
+    nz = pij > 0
+    mi = float((pij[nz] * np.log(
+        pij[nz] / (pi[:, None] * pj[None, :])[nz])).sum())
+    h_t = float(-(pi[pi > 0] * np.log(pi[pi > 0])).sum())
+    h_b = float(-(pj[pj > 0] * np.log(pj[pj > 0])).sum())
+    denom = (h_t + h_b) / 2.0
+    if denom == 0.0:
+        return 1.0
+    return max(0.0, min(1.0, mi / denom))
+
+
+def purity(test: Partition, benchmark: Partition) -> float:
+    """Fraction of vertices whose cluster's majority family is theirs."""
+    table = _contingency(test, benchmark)
+    n = table.sum()
+    if n == 0:
+        return 1.0
+    return float(table.max(axis=1).sum() / n)
+
+
+def pair_f1(test: Partition, benchmark: Partition) -> float:
+    """Harmonic mean of pairwise precision and recall."""
+    conf = pair_confusion(test, benchmark)
+    denom = 2 * conf.tp + conf.fp + conf.fn
+    if denom == 0:
+        return 1.0
+    return float(2 * conf.tp / denom)

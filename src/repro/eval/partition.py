@@ -1,0 +1,138 @@
+"""Partitions over a fixed vertex universe.
+
+All quality measurements compare partitions of the same sequence set.  A
+:class:`Partition` wraps dense labels plus the reporting convention of the
+paper: "In the GOS study, only clusters of size >= 20 are reported, therefore
+we only use clusters of size >= 20 ... for the qualitative assessment" —
+vertices whose cluster falls below the threshold are treated as unclustered
+singletons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.tables import format_count, format_mean_std
+
+
+class Partition:
+    """A clustering of ``n`` vertices given as dense labels.
+
+    Vertices with the same label are in the same group; every vertex has a
+    label (unclustered vertices are singleton groups).
+    """
+
+    def __init__(self, labels: np.ndarray) -> None:
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.ndim != 1:
+            raise ValueError("labels must be 1-D")
+        if labels.size and labels.min() < 0:
+            raise ValueError("labels must be nonnegative")
+        self.labels = labels
+
+    @classmethod
+    def from_clusters(cls, clusters: list[np.ndarray], n_vertices: int) -> "Partition":
+        """Build from disjoint cluster lists; uncovered vertices become
+        singletons."""
+        labels = np.full(n_vertices, -1, dtype=np.int64)
+        for i, members in enumerate(clusters):
+            members = np.asarray(members, dtype=np.int64)
+            if members.size and np.any(labels[members] >= 0):
+                raise ValueError("clusters overlap; Partition requires disjoint groups")
+            labels[members] = i
+        next_label = len(clusters)
+        for v in np.flatnonzero(labels < 0):
+            labels[v] = next_label
+            next_label += 1
+        return cls(labels)
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.labels.size)
+
+    def group_sizes(self) -> np.ndarray:
+        """Size of every group (including singletons)."""
+        return np.bincount(self.labels) if self.labels.size else np.zeros(0, dtype=np.int64)
+
+    def groups(self, min_size: int = 1) -> list[np.ndarray]:
+        """Member arrays of groups with ``size >= min_size``."""
+        order = np.argsort(self.labels, kind="stable")
+        sorted_labels = self.labels[order]
+        boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
+        return [np.sort(g) for g in np.split(order, boundaries)
+                if g.size >= min_size]
+
+    def filtered(self, min_size: int) -> "Partition":
+        """Apply the reporting filter: dissolve groups below ``min_size``.
+
+        Dissolved vertices become singletons, matching how unreported
+        sequences enter the pairwise quality comparison.
+        """
+        sizes = self.group_sizes()
+        keep = sizes[self.labels] >= min_size
+        new_labels = np.empty_like(self.labels)
+        # Kept groups keep a shared (relabeled) id; dissolved become unique.
+        kept_labels = self.labels[keep]
+        _, dense = np.unique(kept_labels, return_inverse=True)
+        new_labels[keep] = dense
+        n_kept_groups = int(dense.max()) + 1 if dense.size else 0
+        n_dissolved = int((~keep).sum())
+        new_labels[~keep] = n_kept_groups + np.arange(n_dissolved, dtype=np.int64)
+        return Partition(new_labels)
+
+    def n_groups(self, min_size: int = 1) -> int:
+        sizes = self.group_sizes()
+        return int((sizes >= min_size).sum())
+
+    def n_clustered(self, min_size: int = 2) -> int:
+        """Vertices included in groups of at least ``min_size``."""
+        sizes = self.group_sizes()
+        return int(sizes[sizes >= min_size].sum())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return np.array_equal(self.labels, other.labels)
+
+    def __repr__(self) -> str:
+        return (f"Partition(n_vertices={self.n_vertices}, "
+                f"n_groups(>=2)={self.n_groups(min_size=2)})")
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Table IV's row for one partition."""
+
+    name: str
+    n_groups: int
+    n_sequences: int
+    largest_group: int
+    avg_group: float
+    std_group: float
+
+    def table_row(self) -> list[str]:
+        return [
+            self.name,
+            format_count(self.n_groups),
+            format_count(self.n_sequences),
+            format_count(self.largest_group),
+            format_mean_std(self.avg_group, self.std_group),
+        ]
+
+
+def partition_stats(partition: Partition, name: str, min_size: int = 20) -> PartitionStats:
+    """Table IV statistics: groups of ``size >= min_size`` only."""
+    sizes = partition.group_sizes()
+    sizes = sizes[sizes >= min_size]
+    if sizes.size == 0:
+        return PartitionStats(name, 0, 0, 0, 0.0, 0.0)
+    return PartitionStats(
+        name=name,
+        n_groups=int(sizes.size),
+        n_sequences=int(sizes.sum()),
+        largest_group=int(sizes.max()),
+        avg_group=float(sizes.mean()),
+        std_group=float(sizes.std()),
+    )

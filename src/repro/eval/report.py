@@ -1,0 +1,123 @@
+"""One-call comparison reports: every Section IV-D measurement at once.
+
+The benchmarks and examples all need the same bundle — Table III scores,
+Table IV statistics, densities, Figure 5 distributions — for a set of
+partitions against a benchmark.  :class:`ComparisonReport` computes and
+renders them in one place, so downstream users get the paper's whole
+evaluation with two lines:
+
+    report = ComparisonReport.compute(graph, {"gpClust": gp, "GOS": gos}, bench)
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.confusion import QualityScores, quality_scores
+from repro.eval.density import density_summary
+from repro.eval.distribution import SizeDistribution, size_distribution
+from repro.eval.external import adjusted_rand_index, pair_f1
+from repro.eval.partition import Partition, PartitionStats, partition_stats
+from repro.graph.csr import CSRGraph
+from repro.util.tables import format_mean_std, format_percent, format_table
+
+
+@dataclass
+class MethodReport:
+    """All measurements of one method's partition."""
+
+    name: str
+    quality: QualityScores
+    stats: PartitionStats
+    density_mean: float
+    density_std: float
+    distribution: SizeDistribution
+    ari: float
+    f1: float
+
+
+@dataclass
+class ComparisonReport:
+    """Measurements for several methods against one benchmark partition."""
+
+    methods: list[MethodReport]
+    benchmark_stats: PartitionStats
+    benchmark_density: tuple[float, float]
+    min_size: int
+
+    @classmethod
+    def compute(cls, graph: CSRGraph, partitions: dict[str, Partition],
+                benchmark: Partition, min_size: int = 20) -> "ComparisonReport":
+        """Evaluate every named partition against the benchmark.
+
+        ``graph`` is the evaluation graph for density (Eq. 6); the paper's
+        ``size >= min_size`` reporting filter applies to the test partitions.
+        """
+        methods = []
+        for name, partition in partitions.items():
+            qs = quality_scores(partition, benchmark, min_size=min_size)
+            st = partition_stats(partition, name, min_size=min_size)
+            dens = density_summary(graph, partition, min_size=min_size)
+            dist = size_distribution(partition)
+            methods.append(MethodReport(
+                name=name, quality=qs, stats=st,
+                density_mean=dens[0], density_std=dens[1],
+                distribution=dist,
+                ari=adjusted_rand_index(partition.filtered(min_size), benchmark),
+                f1=pair_f1(partition.filtered(min_size), benchmark),
+            ))
+        return cls(
+            methods=methods,
+            benchmark_stats=partition_stats(benchmark, "Benchmark", min_size=1),
+            benchmark_density=density_summary(graph, benchmark, min_size=1),
+            min_size=min_size,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def quality_table(self) -> str:
+        """Table III plus the extra external indices."""
+        rows = []
+        for m in self.methods:
+            rows.append(m.quality.table_row(m.name)
+                        + [f"{m.ari:.3f}", f"{m.f1:.3f}"])
+        return format_table(
+            ["Approach", "PPV", "NPV", "SP", "SE", "ARI", "pair-F1"], rows,
+            title=f"Quality vs. benchmark (clusters >= {self.min_size})")
+
+    def partition_table(self) -> str:
+        """Table IV plus densities."""
+        rows = [self.benchmark_stats.table_row()
+                + [format_mean_std(*self.benchmark_density)]]
+        for m in self.methods:
+            rows.append(m.stats.table_row()
+                        + [format_mean_std(m.density_mean, m.density_std)])
+        return format_table(
+            ["Partition", "# Groups", "# Seqs", "Largest", "Avg. size",
+             "Density"], rows, title="Partition statistics")
+
+    def distribution_table(self) -> str:
+        """Figure 5(a)-style counts, one column per method."""
+        if not self.methods:
+            return "(no methods)"
+        labels = self.methods[0].distribution.labels()
+        rows = []
+        for i, label in enumerate(labels):
+            rows.append([label] + [str(int(m.distribution.group_counts[i]))
+                                   for m in self.methods])
+        return format_table(
+            ["Group size"] + [m.name for m in self.methods], rows,
+            title="Group-size distribution (Fig. 5a)")
+
+    def render(self) -> str:
+        return "\n\n".join([self.quality_table(), self.partition_table(),
+                            self.distribution_table()])
+
+    def method(self, name: str) -> MethodReport:
+        for m in self.methods:
+            if m.name == name:
+                return m
+        raise KeyError(name)

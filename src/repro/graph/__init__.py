@@ -1,0 +1,41 @@
+"""Graph substrate: CSR storage, union-find, components, statistics, I/O.
+
+The Shingling pipeline consumes undirected similarity graphs in adjacency-list
+(CSR) form and produces bipartite shingle graphs; both live here, along with
+the connected-component and union-find machinery used by Phase III of the
+algorithm and by the evaluation code.
+"""
+
+from repro.graph.bipartite import BipartiteCSR
+from repro.graph.components import connected_components, largest_component_size
+from repro.graph.csr import CSRGraph
+from repro.graph.io import (
+    load_edge_list,
+    load_npz,
+    save_edge_list,
+    save_npz,
+    timed_load,
+)
+from repro.graph.kcore import core_filter, core_numbers, k_core
+from repro.graph.stats import GraphStats, compute_graph_stats
+from repro.graph.unionfind import UnionFind
+from repro.graph.weighted import WeightedCSRGraph
+
+__all__ = [
+    "BipartiteCSR",
+    "CSRGraph",
+    "GraphStats",
+    "UnionFind",
+    "WeightedCSRGraph",
+    "core_filter",
+    "core_numbers",
+    "k_core",
+    "compute_graph_stats",
+    "connected_components",
+    "largest_component_size",
+    "load_edge_list",
+    "load_npz",
+    "save_edge_list",
+    "save_npz",
+    "timed_load",
+]

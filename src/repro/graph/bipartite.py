@@ -1,0 +1,96 @@
+"""Bipartite graph in CSR form (left-side adjacency into a right universe).
+
+Shingling produces bipartite graphs at two points (Figure 2 of the paper):
+
+* ``G_I(S1, V')``  — first-level shingles on the left, each adjacent to the
+  vertices that generated it;
+* ``G_II(S2, S1')`` — second-level shingles on the left, each adjacent to the
+  first-level shingles that generated it.
+
+Only left-side adjacency is needed by the algorithm (the next pass shingles
+the left lists; Phase III unions the right-side members per component), so we
+store exactly that: an ``indptr``/``indices`` pair where ``indices`` are
+right-side ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BipartiteCSR:
+    """Left-to-right adjacency of a bipartite graph, CSR layout."""
+
+    __slots__ = ("indptr", "indices", "n_right")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, n_right: int,
+                 validate: bool = True) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.n_right = int(n_right)
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        if self.indptr.ndim != 1 or self.indptr.size < 1:
+            raise ValueError("indptr must be a 1-D array of length >= 1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be nondecreasing")
+        if self.n_right < 0:
+            raise ValueError("n_right must be >= 0")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= self.n_right:
+                raise ValueError("right-side id out of range")
+
+    @classmethod
+    def from_lists(cls, lists: list[np.ndarray], n_right: int) -> "BipartiteCSR":
+        """Build from per-left-node neighbor arrays."""
+        indptr = np.zeros(len(lists) + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum([len(a) for a in lists])
+        indices = (np.concatenate([np.asarray(a, dtype=np.int64) for a in lists])
+                   if lists else np.empty(0, dtype=np.int64))
+        return cls(indptr, indices, n_right)
+
+    @property
+    def n_left(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def neighbors(self, left_id: int) -> np.ndarray:
+        """Right-side neighbor ids of one left node (read-only view)."""
+        return self.indices[self.indptr[left_id]:self.indptr[left_id + 1]]
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def right_degrees(self) -> np.ndarray:
+        """Occurrences of each right-side id across all left lists."""
+        return np.bincount(self.indices, minlength=self.n_right)
+
+    def transpose(self) -> "BipartiteCSR":
+        """Right-to-left adjacency (sorted lists), as a new BipartiteCSR."""
+        order = np.argsort(self.indices, kind="stable")
+        owner = np.repeat(np.arange(self.n_left, dtype=np.int64), self.degrees())
+        t_indices = owner[order]
+        counts = np.bincount(self.indices, minlength=self.n_right)
+        t_indptr = np.zeros(self.n_right + 1, dtype=np.int64)
+        np.cumsum(counts, out=t_indptr[1:])
+        return BipartiteCSR(t_indptr, t_indices, n_right=self.n_left, validate=False)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BipartiteCSR):
+            return NotImplemented
+        return (
+            self.n_right == other.n_right
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __repr__(self) -> str:
+        return (f"BipartiteCSR(n_left={self.n_left}, n_right={self.n_right}, "
+                f"nnz={self.nnz})")

@@ -1,0 +1,83 @@
+"""Graph statistics for Table II of the paper.
+
+Table II reports, for the 2M-sequence similarity graph: the number of
+(non-singleton) vertices, the number of edges, the average vertex degree with
+standard deviation, and the size of the largest connected component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.components import component_sizes, connected_components
+from repro.graph.csr import CSRGraph
+from repro.util.tables import format_count, format_mean_std, format_table
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Input-graph statistics matching Table II's columns."""
+
+    n_vertices_total: int
+    n_singletons: int
+    n_vertices: int          # non-singleton vertices, as the paper counts them
+    n_edges: int
+    avg_degree: float
+    std_degree: float
+    largest_cc_size: int
+    n_components: int        # among non-singleton vertices
+
+    def table_row(self) -> list[str]:
+        return [
+            format_count(self.n_vertices),
+            format_count(self.n_edges),
+            format_mean_std(self.avg_degree, self.std_degree),
+            format_count(self.largest_cc_size),
+        ]
+
+    def render(self, title: str = "Input graph statistics (Table II)") -> str:
+        return format_table(
+            ["# Vertices", "# Edges", "Avg. degree", "Largest CC size"],
+            [self.table_row()],
+            title=title,
+        )
+
+
+def compute_graph_stats(graph: CSRGraph) -> GraphStats:
+    """Compute Table II statistics over the non-singleton part of ``graph``.
+
+    The paper ignores singleton vertices ("they do not affect the final
+    result"); degree statistics and component counts follow that convention.
+    """
+    degrees = graph.degrees()
+    non_singleton = degrees > 0
+    ns_degrees = degrees[non_singleton]
+    n_ns = int(non_singleton.sum())
+
+    labels = connected_components(graph)
+    sizes = component_sizes(labels)
+    # Singletons form size-1 components; exclude them from the count of
+    # meaningful components but they can never be the largest.
+    n_components = int((sizes > 1).sum())
+    largest = int(sizes.max()) if sizes.size else 0
+
+    return GraphStats(
+        n_vertices_total=graph.n_vertices,
+        n_singletons=graph.n_vertices - n_ns,
+        n_vertices=n_ns,
+        n_edges=graph.n_edges,
+        avg_degree=float(ns_degrees.mean()) if n_ns else 0.0,
+        std_degree=float(ns_degrees.std()) if n_ns else 0.0,
+        largest_cc_size=largest,
+        n_components=n_components,
+    )
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """``hist[d]`` = number of vertices with degree ``d``."""
+    degrees = graph.degrees()
+    if degrees.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees)

@@ -1,0 +1,130 @@
+"""Weighted undirected graphs (edge-weighted CSR).
+
+The paper restricts itself to unweighted inputs ("although information is
+sometimes available to assign edge weights in this graph based on the degree
+of pairwise relationship, the scope of this paper is restricted to
+unweighted inputs").  This module supplies the data structure for the
+weighted extension implemented in :mod:`repro.core.weighted`: the alignment
+scores of the homology stage become sampling weights for the min-wise
+permutations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+class WeightedCSRGraph:
+    """Undirected graph with positive per-edge weights, CSR layout.
+
+    ``weights[k]`` belongs to arc ``indices[k]``; the two stored directions
+    of an undirected edge carry the same weight.
+    """
+
+    __slots__ = ("csr", "weights")
+
+    def __init__(self, csr: CSRGraph, weights: np.ndarray, validate: bool = True) -> None:
+        self.csr = csr
+        self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        if self.weights.shape != (self.csr.nnz,):
+            raise ValueError(
+                f"weights must align with arcs: {self.weights.shape} vs "
+                f"({self.csr.nnz},)")
+        if self.weights.size and not np.all(self.weights > 0):
+            raise ValueError("edge weights must be strictly positive")
+
+    @classmethod
+    def from_weighted_edges(cls, edges: np.ndarray, weights: np.ndarray,
+                            n_vertices: int | None = None) -> "WeightedCSRGraph":
+        """Build from unique undirected edges with one weight each.
+
+        Duplicate edges keep the maximum weight; self-loops are dropped.
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edges must have shape (m, 2), got {edges.shape}")
+        if weights.shape != (edges.shape[0],):
+            raise ValueError("one weight per edge required")
+        if weights.size and not np.all(weights > 0):
+            raise ValueError("edge weights must be strictly positive")
+        if n_vertices is None:
+            n_vertices = int(edges.max()) + 1 if edges.size else 0
+
+        mask = edges[:, 0] != edges[:, 1]
+        edges, weights = edges[mask], weights[mask]
+        both = np.concatenate([edges, edges[:, ::-1]], axis=0)
+        w_both = np.concatenate([weights, weights])
+        if both.size:
+            keys = both[:, 0] * np.int64(n_vertices) + both[:, 1]
+            order = np.argsort(keys, kind="stable")
+            keys, w_both = keys[order], w_both[order]
+            # Per duplicate group keep the max weight.
+            boundaries = np.flatnonzero(np.diff(keys)) + 1
+            uniq_keys = keys[np.concatenate([[0], boundaries])] if keys.size else keys
+            w_max = np.array([g.max() for g in np.split(w_both, boundaries)]) \
+                if keys.size else w_both
+            src = uniq_keys // n_vertices
+            dst = uniq_keys % n_vertices
+        else:
+            src = dst = np.empty(0, dtype=np.int64)
+            w_max = np.empty(0, dtype=np.float64)
+
+        counts = np.bincount(src, minlength=n_vertices)
+        indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        csr = CSRGraph(indptr, dst, validate=False)
+        return cls(csr, w_max)
+
+    @classmethod
+    def uniform(cls, graph: CSRGraph, weight: float = 1.0) -> "WeightedCSRGraph":
+        """Every edge carries the same weight (the unweighted special case)."""
+        if weight <= 0:
+            raise ValueError("weight must be > 0")
+        return cls(graph, np.full(graph.nnz, weight))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_vertices(self) -> int:
+        return self.csr.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        return self.csr.n_edges
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self.csr.indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self.csr.indices
+
+    def neighbors(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbor ids, weights)`` of one vertex."""
+        lo, hi = self.csr.indptr[v], self.csr.indptr[v + 1]
+        return self.csr.indices[lo:hi], self.weights[lo:hi]
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge (u, v); raises KeyError when absent."""
+        nbrs, w = self.neighbors(u)
+        i = np.searchsorted(nbrs, v)
+        if i >= nbrs.size or nbrs[i] != v:
+            raise KeyError(f"no edge ({u}, {v})")
+        return float(w[i])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedCSRGraph):
+            return NotImplemented
+        return self.csr == other.csr and np.array_equal(self.weights, other.weights)
+
+    def __repr__(self) -> str:
+        return (f"WeightedCSRGraph(n_vertices={self.n_vertices}, "
+                f"n_edges={self.n_edges})")

@@ -1,0 +1,28 @@
+"""Experiment pipeline: named workloads and the end-to-end driver.
+
+The benchmarks regenerate the paper's tables from named workloads whose
+sizes scale with the ``REPRO_SCALE`` environment variable (``small`` by
+default; ``paper`` for the closest laptop-feasible analogue of the paper's
+dataset sizes).
+"""
+
+from repro.pipeline.end_to_end import EndToEndReport, run_end_to_end
+from repro.pipeline.workloads import (
+    WORKLOADS,
+    Workload,
+    get_scale,
+    make_quality_workload,
+    make_runtime_workload,
+    workload_params,
+)
+
+__all__ = [
+    "EndToEndReport",
+    "WORKLOADS",
+    "Workload",
+    "get_scale",
+    "make_quality_workload",
+    "make_runtime_workload",
+    "run_end_to_end",
+    "workload_params",
+]

@@ -1,0 +1,70 @@
+"""Sequence substrate: the pGraph analogue.
+
+The paper's input graphs come from pGraph [25]: pairs of putative ORFs are
+pre-filtered by a maximal-exact-match heuristic and then aligned with the
+optimality-guaranteeing Smith-Waterman algorithm; sufficiently similar pairs
+become edges of the similarity graph that gpClust clusters.
+
+Neither the GOS sequence data nor pGraph itself is available, so this package
+implements the full equivalent pipeline from scratch:
+
+* amino-acid alphabet and integer encoding (:mod:`repro.sequence.alphabet`);
+* FASTA I/O (:mod:`repro.sequence.fasta`);
+* BLOSUM62 scoring (:mod:`repro.sequence.scoring`);
+* a synthetic protein-family generator — ancestral sequences, divergence by
+  substitution/indel, optional shotgun-style fragmenting
+  (:mod:`repro.sequence.generator`);
+* Smith-Waterman local alignment: a scalar affine-gap reference and a
+  batched anti-diagonal vectorized implementation
+  (:mod:`repro.sequence.smith_waterman`);
+* a k-mer seed filter standing in for pGraph's suffix-tree maximal-match
+  pair generation (:mod:`repro.sequence.kmer_filter`);
+* homology-graph construction tying it together
+  (:mod:`repro.sequence.homology`).
+"""
+
+from repro.sequence.alphabet import AMINO_ACIDS, decode, encode
+from repro.sequence.fasta import read_fasta, write_fasta
+from repro.sequence.generator import SequenceFamilyConfig, SyntheticProteinSet, generate_protein_families
+from repro.sequence.homology import HomologyConfig, build_homology_graph
+from repro.sequence.kmer_filter import candidate_pairs
+from repro.sequence.profile import (
+    Profile,
+    build_profile,
+    expand_cluster,
+    profile_score,
+)
+from repro.sequence.scoring import BLOSUM62, blosum62_matrix
+from repro.sequence.suffix import GeneralizedSuffixArray, candidate_pairs_suffix
+from repro.sequence.smith_waterman import (
+    batch_smith_waterman,
+    sw_score_affine,
+    sw_score_linear,
+    sw_align,
+)
+
+__all__ = [
+    "AMINO_ACIDS",
+    "BLOSUM62",
+    "GeneralizedSuffixArray",
+    "HomologyConfig",
+    "Profile",
+    "SequenceFamilyConfig",
+    "SyntheticProteinSet",
+    "batch_smith_waterman",
+    "blosum62_matrix",
+    "build_homology_graph",
+    "build_profile",
+    "candidate_pairs",
+    "candidate_pairs_suffix",
+    "decode",
+    "encode",
+    "expand_cluster",
+    "generate_protein_families",
+    "profile_score",
+    "read_fasta",
+    "sw_align",
+    "sw_score_affine",
+    "sw_score_linear",
+    "write_fasta",
+]

@@ -1,0 +1,73 @@
+"""Minimal FASTA reading and writing.
+
+Metagenomic ORF sets travel as FASTA; the examples and the end-to-end
+pipeline read and write this format.  Sequences are kept as plain strings at
+this layer (encoding to code arrays happens at alignment time).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+def read_fasta(path: str | Path) -> list[tuple[str, str]]:
+    """Read a FASTA file into ``[(header, sequence), ...]``.
+
+    Headers lose their leading ``>``; sequence lines are concatenated and
+    uppercased.  Blank lines are ignored.
+    """
+    records: list[tuple[str, str]] = []
+    header: str | None = None
+    chunks: list[str] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    records.append((header, "".join(chunks).upper()))
+                header = line[1:].strip()
+                chunks = []
+            else:
+                if header is None:
+                    raise ValueError("FASTA file must start with a '>' header")
+                chunks.append(line)
+        if header is not None:
+            records.append((header, "".join(chunks).upper()))
+    return records
+
+
+def write_fasta(records: Iterable[tuple[str, str]], path: str | Path,
+                width: int = 70) -> None:
+    """Write ``(header, sequence)`` records as FASTA with wrapped lines."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    with Path(path).open("w") as fh:
+        for header, seq in records:
+            fh.write(f">{header}\n")
+            for lo in range(0, len(seq), width):
+                fh.write(seq[lo:lo + width] + "\n")
+
+
+def iter_fasta(path: str | Path) -> Iterator[tuple[str, str]]:
+    """Streaming variant of :func:`read_fasta` (one record at a time)."""
+    header: str | None = None
+    chunks: list[str] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    yield header, "".join(chunks).upper()
+                header = line[1:].strip()
+                chunks = []
+            else:
+                if header is None:
+                    raise ValueError("FASTA file must start with a '>' header")
+                chunks.append(line)
+        if header is not None:
+            yield header, "".join(chunks).upper()

@@ -1,0 +1,137 @@
+"""Homology-graph construction: the end of the pGraph analogue.
+
+Ties the sequence substrate together: k-mer candidate filtering, batched
+Smith-Waterman on the surviving pairs, normalized-score thresholding, and
+assembly of the undirected similarity graph the clustering stage consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sequence.kmer_filter import candidate_pairs
+from repro.sequence.scoring import BLOSUM62
+from repro.sequence.smith_waterman import batch_smith_waterman, self_score
+
+
+@dataclass(frozen=True)
+class HomologyConfig:
+    """Parameters of the homology pipeline.
+
+    Attributes
+    ----------
+    pair_filter:
+        Candidate-pair heuristic: ``"kmer"`` (shared k-mer seeds) or
+        ``"suffix"`` (generalized-suffix-array maximal exact matches — the
+        mechanism pGraph's suffix trees implement).
+    k / min_shared_kmers / max_kmer_occurrence:
+        Seed filter settings (see :func:`candidate_pairs`), kmer mode.
+    min_match_len:
+        Minimum exact-match length, suffix mode.
+    gap_model / gap / gap_open / gap_extend:
+        ``"linear"`` (penalty ``gap`` per gapped residue) or ``"affine"``
+        (BLAST-style ``gap_open + (L-1) * gap_extend``); both run the
+        batched anti-diagonal aligner.
+    min_normalized_score:
+        A pair becomes an edge when ``sw / min(self_a, self_b)`` is at least
+        this value.  Normalizing by the smaller self-score makes the
+        threshold length-independent, the usual convention for fragment
+        data.
+    chunk_size:
+        Alignment batch size.
+    """
+
+    pair_filter: str = "kmer"
+    k: int = 5
+    min_shared_kmers: int = 2
+    max_kmer_occurrence: int = 200
+    min_match_len: int = 8
+    gap_model: str = "linear"
+    gap: int = 8
+    gap_open: int = 11
+    gap_extend: int = 1
+    min_normalized_score: float = 0.40
+    chunk_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.pair_filter not in ("kmer", "suffix"):
+            raise ValueError(f"unknown pair_filter {self.pair_filter!r}")
+        if self.gap_model not in ("linear", "affine"):
+            raise ValueError(f"unknown gap_model {self.gap_model!r}")
+        if not 0.0 < self.min_normalized_score <= 1.0:
+            raise ValueError("min_normalized_score must be in (0, 1]")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.min_match_len < 1:
+            raise ValueError("min_match_len must be >= 1")
+
+
+@dataclass
+class HomologyResult:
+    """The similarity graph plus pipeline statistics."""
+
+    graph: CSRGraph
+    n_candidate_pairs: int
+    n_edges: int
+    normalized_scores: np.ndarray = field(repr=False)
+    pairs: np.ndarray = field(repr=False)
+
+
+def build_homology_graph(sequences: list[np.ndarray],
+                         config: HomologyConfig | None = None,
+                         matrix: np.ndarray = BLOSUM62) -> HomologyResult:
+    """Construct the similarity graph of a sequence set.
+
+    Every candidate pair from the seed filter is aligned; pairs whose
+    normalized Smith-Waterman score reaches the threshold become undirected
+    edges.
+    """
+    config = config or HomologyConfig()
+    n = len(sequences)
+    if config.pair_filter == "suffix":
+        from repro.sequence.suffix import candidate_pairs_suffix
+
+        pairs = candidate_pairs_suffix(sequences,
+                                       min_match_len=config.min_match_len,
+                                       max_run=config.max_kmer_occurrence)
+    else:
+        pairs = candidate_pairs(sequences, k=config.k,
+                                min_shared=config.min_shared_kmers,
+                                max_kmer_occurrence=config.max_kmer_occurrence)
+    if pairs.shape[0] == 0:
+        return HomologyResult(
+            graph=CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64),
+                                      n_vertices=n),
+            n_candidate_pairs=0, n_edges=0,
+            normalized_scores=np.zeros(0), pairs=pairs)
+
+    seqs_a = [sequences[i] for i in pairs[:, 0]]
+    seqs_b = [sequences[j] for j in pairs[:, 1]]
+    if config.gap_model == "affine":
+        from repro.sequence.smith_waterman import batch_smith_waterman_affine
+
+        scores = batch_smith_waterman_affine(
+            seqs_a, seqs_b, matrix=matrix, gap_open=config.gap_open,
+            gap_extend=config.gap_extend, chunk_size=config.chunk_size)
+    else:
+        scores = batch_smith_waterman(seqs_a, seqs_b, matrix=matrix,
+                                      gap=config.gap,
+                                      chunk_size=config.chunk_size)
+    selfs = np.array([self_score(s, matrix) for s in sequences],
+                     dtype=np.int64)
+    denom = np.minimum(selfs[pairs[:, 0]], selfs[pairs[:, 1]])
+    normalized = scores / np.maximum(denom, 1)
+
+    keep = normalized >= config.min_normalized_score
+    edges = pairs[keep]
+    graph = CSRGraph.from_edges(edges, n_vertices=n)
+    return HomologyResult(
+        graph=graph,
+        n_candidate_pairs=int(pairs.shape[0]),
+        n_edges=graph.n_edges,
+        normalized_scores=normalized,
+        pairs=pairs,
+    )

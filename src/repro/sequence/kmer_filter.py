@@ -1,0 +1,103 @@
+"""k-mer seed filtering: the maximal-match candidate-pair heuristic.
+
+pGraph avoids all-against-all alignment by "first identifying promising
+pairs of sequences based on a maximal-matching heuristic (suffix trees are
+used in our implementation)".  We stand in a k-mer seed index for the suffix
+tree: two sequences become an alignment candidate when they share at least
+``min_shared`` exact k-mers.  Same filtering effect (exact substring
+agreement), much simpler machinery, fully vectorized.
+
+High-frequency k-mers (low-complexity regions) are dropped, as every seeded
+filter must, to avoid quadratic blowup on repeats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sequence.alphabet import ALPHABET_SIZE
+
+
+def kmer_codes(seq: np.ndarray, k: int) -> np.ndarray:
+    """All overlapping k-mers of a code sequence, packed into int64 values.
+
+    Packing is positional base-``ALPHABET_SIZE``; k is limited so the packed
+    value fits in int64 (k <= 14 for a 21-letter alphabet).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if ALPHABET_SIZE ** k > 2**62:
+        raise ValueError(f"k={k} too large to pack into int64")
+    seq = np.asarray(seq, dtype=np.int64)
+    if seq.size < k:
+        return np.empty(0, dtype=np.int64)
+    # Sliding windows via stride trick on a cumulative polynomial encoding.
+    weights = ALPHABET_SIZE ** np.arange(k, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(seq, k)
+    return windows @ weights
+
+
+def candidate_pairs(sequences: list[np.ndarray], k: int = 5,
+                    min_shared: int = 1,
+                    max_kmer_occurrence: int = 200) -> np.ndarray:
+    """Pairs of sequence indices sharing at least ``min_shared`` k-mers.
+
+    Parameters
+    ----------
+    sequences:
+        Integer-encoded sequences.
+    k:
+        Seed length; 4-6 is the useful protein range (5 gives ~4M possible
+        seeds, so unrelated sequences of a few hundred residues rarely
+        collide more than ``min_shared`` times).
+    min_shared:
+        Minimum number of distinct shared k-mer *types* to qualify.
+    max_kmer_occurrence:
+        Seeds present in more than this many sequences are skipped
+        (low-complexity filter).
+
+    Returns
+    -------
+    np.ndarray
+        ``(m, 2)`` array of index pairs with ``i < j``, sorted.
+    """
+    if min_shared < 1:
+        raise ValueError("min_shared must be >= 1")
+    if max_kmer_occurrence < 2:
+        raise ValueError("max_kmer_occurrence must be >= 2")
+
+    all_kmers: list[np.ndarray] = []
+    all_owners: list[np.ndarray] = []
+    for i, seq in enumerate(sequences):
+        codes = np.unique(kmer_codes(seq, k))  # distinct k-mer types per seq
+        all_kmers.append(codes)
+        all_owners.append(np.full(codes.size, i, dtype=np.int64))
+    if not all_kmers:
+        return np.empty((0, 2), dtype=np.int64)
+    kmers = np.concatenate(all_kmers)
+    owners = np.concatenate(all_owners)
+
+    order = np.argsort(kmers, kind="stable")
+    kmers = kmers[order]
+    owners = owners[order]
+    boundaries = np.flatnonzero(np.diff(kmers)) + 1
+    groups = np.split(owners, boundaries)
+
+    pair_chunks: list[np.ndarray] = []
+    for group in groups:
+        g = group.size
+        if g < 2 or g > max_kmer_occurrence:
+            continue
+        members = np.sort(group)
+        iu, ju = np.triu_indices(g, k=1)
+        pair_chunks.append(np.stack([members[iu], members[ju]], axis=1))
+    if not pair_chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.concatenate(pair_chunks, axis=0)
+
+    n = len(sequences)
+    keys = pairs[:, 0] * np.int64(n) + pairs[:, 1]
+    uniq, counts = np.unique(keys, return_counts=True)
+    qualified = uniq[counts >= min_shared]
+    out = np.stack([qualified // n, qualified % n], axis=1)
+    return out

@@ -1,0 +1,65 @@
+"""Sequence divergence models: substitutions and indels.
+
+The synthetic family generator derives members from a family ancestor by
+applying residue substitutions (at a configurable divergence rate) and
+occasional short insertions/deletions — enough to exercise the aligner's
+gap handling while keeping family members detectably homologous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sequence.alphabet import AMINO_ACIDS
+
+
+def substitute(codes: np.ndarray, rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Substitute each residue independently with probability ``rate``.
+
+    Substitutions draw a uniformly random *different* residue, so ``rate``
+    is the true expected divergence.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    out = codes.copy()
+    hit = np.flatnonzero(rng.random(codes.size) < rate)
+    if hit.size:
+        # Draw from 19 alternatives and shift past the original residue.
+        draws = rng.integers(0, len(AMINO_ACIDS) - 1, size=hit.size).astype(np.uint8)
+        originals = out[hit]
+        out[hit] = np.where(draws >= originals, draws + 1, draws).astype(np.uint8)
+    return out
+
+
+def indel(codes: np.ndarray, rate: float, rng: np.random.Generator,
+          max_len: int = 3) -> np.ndarray:
+    """Apply short insertions/deletions at the given per-residue rate.
+
+    Each event is a deletion or insertion (equal probability) of
+    1..``max_len`` residues.  Event positions are sampled on the original
+    sequence and applied right-to-left so indices stay valid.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    if max_len < 1:
+        raise ValueError("max_len must be >= 1")
+    n_events = int(rng.binomial(max(codes.size, 1), rate))
+    if n_events == 0:
+        return codes.copy()
+    out = codes.copy()
+    positions = np.sort(rng.integers(0, max(out.size, 1), size=n_events))[::-1]
+    for pos in positions.tolist():
+        length = int(rng.integers(1, max_len + 1))
+        if rng.random() < 0.5 and out.size > length:
+            out = np.delete(out, slice(pos, min(pos + length, out.size)))
+        else:
+            insert = rng.integers(0, len(AMINO_ACIDS), size=length).astype(np.uint8)
+            pos = min(pos, out.size)
+            out = np.concatenate([out[:pos], insert, out[pos:]])
+    return out
+
+
+def diverge(codes: np.ndarray, substitution_rate: float, indel_rate: float,
+            rng: np.random.Generator) -> np.ndarray:
+    """Substitutions followed by indels — one family member's divergence."""
+    return indel(substitute(codes, substitution_rate, rng), indel_rate, rng)

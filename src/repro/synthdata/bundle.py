@@ -1,0 +1,74 @@
+"""Benchmark bundle persistence: a planted instance as files on disk.
+
+A bundle is the on-disk form of one :class:`PlantedGraph` — the evaluation
+graph, the GOS-pipeline view, and the ground-truth labels — under a common
+path stem, matching what ``python -m repro generate`` writes:
+
+    <stem>.npz          the pGraph-analog similarity graph (CSR)
+    <stem>.gos.npz      the GOS-pipeline edge view
+    <stem>.labels.npz   ground-truth family labels
+
+Lets experiments be generated once and reused across runs/processes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.io import load_npz, save_npz
+from repro.synthdata.planted import PlantedGraph
+
+
+def save_bundle(planted: PlantedGraph, stem: str | Path) -> dict[str, Path]:
+    """Write a planted instance's three files; returns the paths."""
+    stem = Path(stem)
+    paths = {
+        "graph": stem.with_suffix(".npz"),
+        "gos_graph": stem.with_suffix(".gos.npz"),
+        "labels": stem.with_suffix(".labels.npz"),
+    }
+    save_npz(planted.graph, paths["graph"])
+    save_npz(planted.gos_graph, paths["gos_graph"])
+    np.savez_compressed(paths["labels"],
+                        labels=planted.family_labels,
+                        core_labels=planted.core_labels,
+                        seed=np.array([planted.seed]))
+    return paths
+
+
+class BenchmarkBundle:
+    """A loaded benchmark instance (graphs + ground truth)."""
+
+    def __init__(self, graph: CSRGraph, gos_graph: CSRGraph,
+                 family_labels: np.ndarray,
+                 core_labels: np.ndarray | None = None,
+                 seed: int | None = None) -> None:
+        if family_labels.size != graph.n_vertices:
+            raise ValueError("labels must cover every vertex")
+        if gos_graph.n_vertices != graph.n_vertices:
+            raise ValueError("graph views must share the vertex universe")
+        self.graph = graph
+        self.gos_graph = gos_graph
+        self.family_labels = family_labels
+        self.core_labels = core_labels
+        self.seed = seed
+
+    @property
+    def n_vertices(self) -> int:
+        return self.graph.n_vertices
+
+
+def load_bundle(stem: str | Path) -> BenchmarkBundle:
+    """Load a bundle written by :func:`save_bundle` (or the CLI)."""
+    stem = Path(stem)
+    graph = load_npz(stem.with_suffix(".npz"))
+    gos_path = stem.with_suffix(".gos.npz")
+    gos_graph = load_npz(gos_path) if gos_path.exists() else graph
+    with np.load(stem.with_suffix(".labels.npz")) as data:
+        labels = data["labels"]
+        core_labels = data["core_labels"] if "core_labels" in data else None
+        seed = int(data["seed"][0]) if "seed" in data else None
+    return BenchmarkBundle(graph, gos_graph, labels, core_labels, seed)

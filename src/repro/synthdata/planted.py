@@ -1,0 +1,374 @@
+"""Planted-family similarity-graph generator.
+
+See the package docstring for the high-level model.  The generator is fully
+deterministic for a given seed and returns:
+
+* ``graph`` — the pGraph-analog similarity graph on which gpClust runs and
+  on which *all* density evaluation happens (Equation 6 is computed against
+  this edge set for every method, as the paper computes density of the GOS
+  partition's clusters against its own graph's notion of connectivity);
+* ``gos_graph`` — the *GOS-pipeline view*: the same graph plus extra
+  within-family edges modeling the GOS project's independent BLAST-based
+  homology detection.  In the paper, the GOS partition was produced by a
+  different pipeline than the evaluation graph; clusters it reports are
+  therefore loosely connected when measured on the pGraph graph (GOS density
+  0.40 vs. gpClust 0.75).  The extra edges are of two kinds:
+
+  - **cross-core fill** between cores of the same family (weak homologies a
+    more sensitive search reports), which push shared-neighbor counts of
+    cross-core pairs above the fixed ``k`` — this is what makes the GOS
+    linkage "group some highly-connected clusters into a relatively
+    loosely-connected cluster";
+  - **satellite hits**: loose periphery sequences that BLAST relates to many
+    core members; the k-neighbor linkage recruits them, but they contribute
+    almost no edges in the evaluation graph, diluting GOS cluster density.
+
+* ``family_labels`` — the benchmark partition (ground truth families);
+* ``core_labels`` — per-vertex core id (or -1), for diagnostics.
+
+All extra GOS-view edges stay *within* families, so the GOS partition's PPV
+remains 100% (as in Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.util.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class PlantedFamilyConfig:
+    """Knobs of the planted-family model.
+
+    Attributes
+    ----------
+    n_families:
+        Number of ground-truth families (benchmark groups).
+    family_size_median / family_size_sigma:
+        Family sizes are lognormal (heavy-tailed, like the paper's benchmark
+        with avg 2,465 ± 4,372), clipped to
+        [min_family_size, max_family_size].
+    core_fraction:
+        Fraction of each family's vertices placed into dense cores.
+    major_core_fraction:
+        Share of the core budget given to the family's single *major* core;
+        the remainder is split into *minor* cores of ~``core_size``.  Pair
+        counts (and hence sensitivity) are dominated by major cores, while
+        cluster counts are dominated by minors — which is where the GOS-only
+        fusion and satellites act, letting the model hit the paper's density
+        ordering without flipping the sensitivity ordering.
+    core_size:
+        Target size of one minor core.
+    p_core:
+        Within-core edge probability (gpClust cluster density driver).
+    attached_fraction / attach_edges:
+        Share of periphery that is *well-attached*: ``attach_edges[0]`` to
+        ``attach_edges[1]`` edges into one core.  Below the GOS k in shared
+        neighbors, but easily recruited by shingling — these drive gpClust's
+        recruitment and sensitivity edge.
+    light_fraction / light_edges:
+        Share of periphery that is *lightly attached* (a couple of edges);
+        shingling recruits those with >= 2 edges, GOS never does.
+    mis_attach_prob:
+        Probability that an attached/light periphery vertex lands in a
+        *foreign* family's core (spurious homology) — the false positives
+        that pull gpClust's PPV just below 100%.
+    p_cross_gos:
+        GOS-view-only edge probability between consecutive core pairs of the
+        same family (the cross-core fill described in the module docstring).
+    gos_fusion_fraction:
+        Fraction of multi-core families whose consecutive core pairs receive
+        the cross-core fill.
+    gos_fusion_pairs:
+        Maximum number of consecutive core pairs per family to fill; keeps
+        huge families from fusing into one giant chain.
+    gos_satellite_ratio / gos_satellite_edges:
+        Loose periphery vertices given GOS-view-only edges into a core
+        (``gos_satellite_edges`` each), recruiting them into the GOS
+        partition while leaving them near-isolated in the evaluation graph.
+        Every core receives ``round(ratio * core_size)`` satellites (pool
+        permitting): proportional coverage keeps the GOS partition's density
+        uniformly diluted — a fixed per-core count would leave the largest
+        cores satellite-free on some instances and let them pull the GOS
+        density average up past gpClust's.
+    loose_edge_prob:
+        Probability that a loose periphery vertex has one real edge into a
+        core (degree-1: in the graph, but recruitable by neither method).
+    noise_edge_fraction:
+        Spurious-homology edges as a fraction of planted edges.  Each noise
+        edge is *pendant*: one endpoint is an otherwise-isolated loose
+        sequence (each used at most once).  Pendant noise models random
+        low-complexity hits without merging connected components — the
+        paper's 2M graph is highly fragmented (largest CC 10,707 of 1.56M
+        vertices), which only holds if spurious edges do not chain families.
+    """
+
+    n_families: int = 40
+    family_size_median: float = 120.0
+    family_size_sigma: float = 0.9
+    min_family_size: int = 60
+    max_family_size: int = 4000
+    core_fraction: float = 0.45
+    major_core_fraction: float = 0.5
+    core_size: int = 22
+    p_core: float = 0.97
+    attached_fraction: float = 0.40
+    attach_edges: tuple[int, int] = (6, 9)
+    light_fraction: float = 0.08
+    light_edges: tuple[int, int] = (2, 3)
+    mis_attach_prob: float = 0.04
+    p_cross_gos: float = 0.40
+    gos_fusion_fraction: float = 0.85
+    gos_fusion_pairs: int = 2
+    gos_satellite_ratio: float = 0.36
+    gos_satellite_edges: int = 13
+    loose_edge_prob: float = 0.35
+    noise_edge_fraction: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.n_families < 1:
+            raise ValueError("n_families must be >= 1")
+        if not 0.0 < self.core_fraction <= 1.0:
+            raise ValueError("core_fraction must be in (0, 1]")
+        for name in ("p_core", "p_cross_gos", "mis_attach_prob",
+                     "gos_fusion_fraction", "loose_edge_prob",
+                     "noise_edge_fraction", "gos_satellite_ratio"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.attached_fraction + self.light_fraction > 1.0:
+            raise ValueError("attached_fraction + light_fraction must be <= 1")
+        if self.min_family_size < 2 or self.max_family_size < self.min_family_size:
+            raise ValueError("invalid family size bounds")
+        if self.core_size < 4:
+            raise ValueError("core_size must be >= 4")
+        if self.attach_edges[0] < 1 or self.attach_edges[1] < self.attach_edges[0]:
+            raise ValueError("invalid attach_edges range")
+        if self.light_edges[0] < 1 or self.light_edges[1] < self.light_edges[0]:
+            raise ValueError("invalid light_edges range")
+
+
+@dataclass
+class PlantedGraph:
+    """A planted-family graph plus its ground truth and the GOS view."""
+
+    graph: CSRGraph
+    gos_graph: CSRGraph
+    family_labels: np.ndarray
+    core_labels: np.ndarray
+    config: PlantedFamilyConfig
+    seed: int
+    n_cores: int = 0
+    core_family: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @property
+    def n_vertices(self) -> int:
+        return self.graph.n_vertices
+
+    def family_sizes(self) -> np.ndarray:
+        return np.bincount(self.family_labels)
+
+
+def _dense_block_edges(members: np.ndarray, p: float, rng: np.random.Generator) -> np.ndarray:
+    """Edges of an Erdos-Renyi block over ``members`` with probability ``p``."""
+    k = members.size
+    if k < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    iu, ju = np.triu_indices(k, k=1)
+    keep = rng.random(iu.size) < p
+    return np.stack([members[iu[keep]], members[ju[keep]]], axis=1)
+
+
+def _bipartite_block_edges(left: np.ndarray, right: np.ndarray, p: float,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Random bipartite edges between two disjoint vertex sets."""
+    if left.size == 0 or right.size == 0 or p <= 0.0:
+        return np.empty((0, 2), dtype=np.int64)
+    mask = rng.random((left.size, right.size)) < p
+    li, ri = np.nonzero(mask)
+    return np.stack([left[li], right[ri]], axis=1)
+
+
+def _star_edges(center: int, targets: np.ndarray) -> np.ndarray:
+    return np.stack(
+        [np.full(targets.size, center, dtype=np.int64), targets], axis=1)
+
+
+def planted_family_graph(config: PlantedFamilyConfig | None = None,
+                         seed: int = 0) -> PlantedGraph:
+    """Generate a planted-family similarity graph (see module docstring)."""
+    config = config or PlantedFamilyConfig()
+    rng = spawn_rng(seed, "planted")
+
+    # ---------------------------------------------------------------- #
+    # Family sizes (heavy-tailed benchmark partition)
+    # ---------------------------------------------------------------- #
+    sizes = np.exp(rng.normal(np.log(config.family_size_median),
+                              config.family_size_sigma,
+                              size=config.n_families))
+    sizes = np.clip(np.round(sizes).astype(np.int64),
+                    config.min_family_size, config.max_family_size)
+    n = int(sizes.sum())
+    family_labels = np.repeat(np.arange(config.n_families, dtype=np.int64), sizes)
+    starts = np.zeros(config.n_families + 1, dtype=np.int64)
+    np.cumsum(sizes, out=starts[1:])
+
+    core_labels = np.full(n, -1, dtype=np.int64)
+    real_edges: list[np.ndarray] = []     # pGraph-analog edges
+    gos_extra: list[np.ndarray] = []      # GOS-view-only edges
+    core_family: list[int] = []
+    next_core = 0
+
+    # Phase 1 — role assignment for every family (cores / periphery splits).
+    all_core_chunks: list[list[np.ndarray]] = []
+    all_attached: list[np.ndarray] = []
+    all_light: list[np.ndarray] = []
+    all_loose: list[np.ndarray] = []
+    for fam in range(config.n_families):
+        members = np.arange(starts[fam], starts[fam + 1], dtype=np.int64)
+        rng.shuffle(members)
+        core_budget = max(int(round(config.core_fraction * members.size)),
+                          min(members.size, 8))
+        major_size = max(int(round(config.major_core_fraction * core_budget)), 4)
+        minor_budget = core_budget - major_size
+        n_minor = max(0, int(round(minor_budget / config.core_size)))
+        if n_minor == 0:
+            minor_budget = 0  # leftover joins the periphery instead
+        core_chunks = [members[:major_size]]
+        if n_minor > 0:
+            core_chunks += [
+                c for c in np.array_split(
+                    members[major_size:major_size + minor_budget], n_minor)
+                if c.size >= 2
+            ]
+        periphery = members[major_size + minor_budget:]
+        n_attached = int(round(config.attached_fraction * periphery.size))
+        n_light = int(round(config.light_fraction * periphery.size))
+        all_core_chunks.append(core_chunks)
+        all_attached.append(periphery[:n_attached])
+        all_light.append(periphery[n_attached:n_attached + n_light])
+        all_loose.append(periphery[n_attached + n_light:])
+        for chunk in core_chunks:
+            core_labels[chunk] = next_core
+            core_family.append(fam)
+            next_core += 1
+
+    # Phase 2 — dense cores (real) and cross-core fill (GOS view).
+    for fam in range(config.n_families):
+        core_chunks = all_core_chunks[fam]
+        for chunk in core_chunks:
+            real_edges.append(_dense_block_edges(chunk, config.p_core, rng))
+        if len(core_chunks) >= 3 and rng.random() < config.gos_fusion_fraction:
+            # Fuse consecutive MINOR core pairs only (chunk 0 is the major
+            # core): big clusters keep carrying sensitivity, small ones get
+            # the loose fusions that drag GOS's average density down.
+            minors = core_chunks[1:]
+            pairs = list(zip(minors[:-1], minors[1:]))[::2]
+            for left, right in pairs[:config.gos_fusion_pairs]:
+                gos_extra.append(
+                    _bipartite_block_edges(left, right, config.p_cross_gos, rng))
+
+    # Phase 3 — periphery attachment (real edges).
+    def _core_probs(chunks: list[np.ndarray]) -> np.ndarray:
+        sizes_ = np.array([c.size for c in chunks], dtype=np.float64)
+        return sizes_ / sizes_.sum()
+
+    def _attach(vertices: np.ndarray, fam: int, edge_range: tuple[int, int]) -> None:
+        core_chunks = all_core_chunks[fam]
+        if vertices.size == 0 or not core_chunks:
+            return
+        # Periphery lands on cores proportionally to core size (a bigger
+        # core presents more homologous surface), mirroring the satellite
+        # allocation so the two methods' member streams scale together.
+        probs = _core_probs(core_chunks)
+        for v in vertices.tolist():
+            if (config.n_families > 1
+                    and rng.random() < config.mis_attach_prob):
+                other = int(rng.integers(config.n_families - 1))
+                if other >= fam:
+                    other += 1
+                foreign = all_core_chunks[other]
+                if not foreign:
+                    continue
+                # One foreign core only: edges into two cores would fuse
+                # them when the vertex is recruited.
+                target = foreign[int(rng.integers(len(foreign)))]
+            else:
+                target = core_chunks[int(rng.choice(len(core_chunks), p=probs))]
+            d = min(int(rng.integers(edge_range[0], edge_range[1] + 1)),
+                    target.size)
+            real_edges.append(_star_edges(v, rng.choice(target, size=d, replace=False)))
+
+    isolated_loose: list[np.ndarray] = []
+    for fam in range(config.n_families):
+        _attach(all_attached[fam], fam, config.attach_edges)
+        _attach(all_light[fam], fam, config.light_edges)
+        # Loose periphery: at most one real edge (recruitable by neither);
+        # the edgeless remainder feeds the pendant-noise pool of Phase 5.
+        loose = all_loose[fam]
+        core_chunks = all_core_chunks[fam]
+        if loose.size and core_chunks:
+            has_edge = rng.random(loose.size) < config.loose_edge_prob
+            for v in loose[has_edge].tolist():
+                target = core_chunks[int(rng.integers(len(core_chunks)))]
+                real_edges.append(_star_edges(
+                    v, rng.choice(target, size=1)))
+            isolated_loose.append(loose[~has_edge])
+        elif loose.size:
+            isolated_loose.append(loose)
+
+    # Phase 4 — GOS satellites: loose periphery that the GOS pipeline's own
+    # (more sensitive) homology search relates to many core members.
+    for fam in range(config.n_families):
+        loose = all_loose[fam]
+        cursor = 0
+        # Proportional satellite coverage over EVERY core (see
+        # gos_satellite_ratio's docstring).
+        for chunk in all_core_chunks[fam]:
+            want = int(round(config.gos_satellite_ratio * chunk.size))
+            take = min(want, loose.size - cursor)
+            if take <= 0:
+                continue
+            for v in loose[cursor:cursor + take].tolist():
+                d = min(config.gos_satellite_edges, chunk.size)
+                gos_extra.append(_star_edges(
+                    v, rng.choice(chunk, size=d, replace=False)))
+            cursor += take
+
+    planted = (np.concatenate(real_edges, axis=0) if real_edges
+               else np.empty((0, 2), dtype=np.int64))
+
+    # Phase 5 — pendant noise edges: one endpoint a (previously isolated)
+    # loose sequence, each used at most once, so noise never chains
+    # connected components.
+    n_noise = int(round(config.noise_edge_fraction * planted.shape[0]))
+    pool = (np.concatenate(isolated_loose) if isolated_loose
+            else np.empty(0, dtype=np.int64))
+    if n_noise and pool.size and n >= 2:
+        n_noise = min(n_noise, pool.size)
+        pendants = rng.choice(pool, size=n_noise, replace=False)
+        partners = rng.integers(0, n, size=n_noise, dtype=np.int64)
+        keep = pendants != partners
+        noise = np.stack([pendants[keep], partners[keep]], axis=1)
+        planted = np.concatenate([planted, noise], axis=0)
+
+    graph = CSRGraph.from_edges(planted, n_vertices=n)
+    extra = (np.concatenate(gos_extra, axis=0) if gos_extra
+             else np.empty((0, 2), dtype=np.int64))
+    gos_graph = CSRGraph.from_edges(
+        np.concatenate([planted, extra], axis=0), n_vertices=n)
+
+    return PlantedGraph(
+        graph=graph,
+        gos_graph=gos_graph,
+        family_labels=family_labels,
+        core_labels=core_labels,
+        config=config,
+        seed=seed,
+        n_cores=next_core,
+        core_family=np.asarray(core_family, dtype=np.int64),
+    )

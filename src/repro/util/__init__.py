@@ -1,0 +1,23 @@
+"""Shared utilities: primality, seeded RNG helpers, timers, table rendering.
+
+These are the lowest-level building blocks of the reproduction; every other
+subpackage may depend on :mod:`repro.util` but never the other way around.
+"""
+
+from repro.util.primes import is_probable_prime, next_prime, random_prime
+from repro.util.rng import HashPair, make_hash_pairs, spawn_rng
+from repro.util.tables import format_table, format_seconds
+from repro.util.timer import Stopwatch, TimeBreakdown
+
+__all__ = [
+    "HashPair",
+    "Stopwatch",
+    "TimeBreakdown",
+    "format_seconds",
+    "format_table",
+    "is_probable_prime",
+    "make_hash_pairs",
+    "next_prime",
+    "random_prime",
+    "spawn_rng",
+]

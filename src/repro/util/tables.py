@@ -1,0 +1,90 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness regenerates the paper's tables as aligned ASCII tables
+printed to stdout (and written next to the benchmark outputs), so the
+reproduction's rows can be eyeballed against the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration the way the paper's tables do (two decimals)."""
+    if seconds != seconds:  # NaN
+        return "n/a"
+    if seconds >= 100:
+        return f"{seconds:,.2f}"
+    return f"{seconds:.2f}"
+
+
+def format_count(n: int) -> str:
+    """Thousands-separated integer, e.g. ``1,562,984``."""
+    return f"{int(n):,}"
+
+
+def format_percent(fraction: float) -> str:
+    """Render a fraction as the paper's percentage style, e.g. ``97.17%``."""
+    return f"{100.0 * fraction:.2f}%"
+
+
+def format_mean_std(mean: float, std: float) -> str:
+    """Render ``mean ± std`` the way the paper reports degree/size stats."""
+    if mean >= 100 or std >= 100:
+        return f"{mean:,.0f} ± {std:,.0f}"
+    return f"{mean:.2f} ± {std:.2f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    align: Sequence[str] | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row cell values; converted with ``str``.
+    title:
+        Optional title printed above the table.
+    align:
+        Per-column alignment, each ``"l"`` or ``"r"``; defaults to left for
+        the first column and right for the rest (numeric convention).
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(f"row has {len(row)} cells, expected {ncols}: {row}")
+    if align is None:
+        align = ["l"] + ["r"] * (ncols - 1)
+    if len(align) != ncols:
+        raise ValueError(f"align has {len(align)} entries, expected {ncols}")
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, width, a in zip(cells, widths, align):
+            parts.append(cell.ljust(width) if a == "l" else cell.rjust(width))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)

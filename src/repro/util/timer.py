@@ -1,0 +1,122 @@
+"""Wall-clock timing primitives used by the gpClust component breakdown.
+
+Table I of the paper reports per-component runtimes: CPU, GPU, host-to-device
+transfer (``Data c->g``), device-to-host transfer (``Data g->c``) and Disk I/O.
+:class:`TimeBreakdown` accumulates named buckets so the pipeline can report
+the same columns.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class Stopwatch:
+    """A resumable wall-clock stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# Canonical bucket names matching Table I's columns.
+BUCKET_CPU = "cpu"
+BUCKET_GPU = "gpu"
+BUCKET_C2G = "data_c2g"
+BUCKET_G2C = "data_g2c"
+BUCKET_IO = "disk_io"
+
+TABLE1_BUCKETS = (BUCKET_CPU, BUCKET_GPU, BUCKET_C2G, BUCKET_G2C, BUCKET_IO)
+
+
+@dataclass
+class TimeBreakdown:
+    """Accumulates wall-clock seconds into named buckets.
+
+    A separate ``modeled`` dict accumulates *simulated* device seconds from
+    the transfer/kernel cost models, kept apart from measured wall time so
+    benchmark reports can show both honestly.
+    """
+
+    measured: dict[str, float] = field(default_factory=dict)
+    modeled: dict[str, float] = field(default_factory=dict)
+
+    def add(self, bucket: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds!r} for bucket {bucket!r}")
+        self.measured[bucket] = self.measured.get(bucket, 0.0) + seconds
+
+    def add_modeled(self, bucket: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative duration {seconds!r} for bucket {bucket!r}")
+        self.modeled[bucket] = self.modeled.get(bucket, 0.0) + seconds
+
+    @contextmanager
+    def timing(self, bucket: str) -> Iterator[None]:
+        """Context manager that adds the elapsed wall time to ``bucket``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(bucket, time.perf_counter() - t0)
+
+    def get(self, bucket: str) -> float:
+        return self.measured.get(bucket, 0.0)
+
+    def get_modeled(self, bucket: str) -> float:
+        return self.modeled.get(bucket, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.measured.values())
+
+    def merge(self, other: "TimeBreakdown") -> None:
+        """Fold another breakdown's buckets into this one."""
+        for bucket, seconds in other.measured.items():
+            self.add(bucket, seconds)
+        for bucket, seconds in other.modeled.items():
+            self.add_modeled(bucket, seconds)
+
+    def as_row(self) -> dict[str, float]:
+        """Measured seconds for the five Table-I buckets plus the total."""
+        row = {bucket: self.get(bucket) for bucket in TABLE1_BUCKETS}
+        row["total"] = self.total
+        return row

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.io import load_npz
+
+
+@pytest.fixture
+def bench_files(tmp_path):
+    """Generated benchmark graph + ground truth via the CLI itself."""
+    stem = tmp_path / "bench"
+    assert main(["generate", "--families", "6", "--seed", "3",
+                 "--out", str(stem)]) == 0
+    return stem
+
+
+class TestGenerate:
+    def test_graph_outputs(self, bench_files, tmp_path):
+        graph = load_npz(bench_files.with_suffix(".npz"))
+        gos = load_npz(bench_files.with_suffix(".gos.npz"))
+        assert graph.n_vertices == gos.n_vertices
+        assert gos.n_edges > graph.n_edges
+        with np.load(bench_files.with_suffix(".labels.npz")) as data:
+            assert data["labels"].size == graph.n_vertices
+
+    def test_fasta_output(self, tmp_path):
+        stem = tmp_path / "seqs"
+        assert main(["generate", "--families", "4", "--fasta",
+                     "--out", str(stem)]) == 0
+        text = stem.with_suffix(".fasta").read_text()
+        assert text.startswith(">")
+        assert "family=0" in text
+
+
+class TestCluster:
+    def test_cluster_writes_labels(self, bench_files, tmp_path, capsys):
+        out = tmp_path / "labels.npz"
+        assert main(["cluster", str(bench_files.with_suffix(".npz")),
+                     "--out", str(out), "--c1", "20", "--c2", "10"]) == 0
+        with np.load(out) as data:
+            labels = data["labels"]
+        graph = load_npz(bench_files.with_suffix(".npz"))
+        assert labels.size == graph.n_vertices
+        captured = capsys.readouterr().out
+        assert "clustering summary" in captured
+        assert "component breakdown" in captured
+
+    def test_serial_backend(self, bench_files, tmp_path):
+        out_d = tmp_path / "d.npz"
+        out_s = tmp_path / "s.npz"
+        graph_path = str(bench_files.with_suffix(".npz"))
+        main(["cluster", graph_path, "--out", str(out_d),
+              "--c1", "10", "--c2", "5"])
+        main(["cluster", graph_path, "--out", str(out_s),
+              "--c1", "10", "--c2", "5", "--backend", "serial"])
+        with np.load(out_d) as a, np.load(out_s) as b:
+            assert np.array_equal(a["labels"], b["labels"])
+
+
+class TestStats:
+    def test_prints_table(self, bench_files, capsys):
+        assert main(["stats", str(bench_files.with_suffix(".npz"))]) == 0
+        out = capsys.readouterr().out
+        assert "# Vertices" in out
+        assert "singleton vertices excluded" in out
+
+
+class TestCompare:
+    def test_compare_with_clustering(self, bench_files, capsys):
+        assert main(["compare", str(bench_files.with_suffix(".npz")),
+                     "--benchmark", str(bench_files.with_suffix(".labels.npz")),
+                     "--c1", "20", "--c2", "10", "--min-size", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "PPV" in out and "Sensitivity" in out
+
+    def test_compare_with_precomputed_labels(self, bench_files, tmp_path, capsys):
+        labels_path = tmp_path / "labels.npz"
+        main(["cluster", str(bench_files.with_suffix(".npz")),
+              "--out", str(labels_path), "--c1", "20", "--c2", "10"])
+        capsys.readouterr()
+        assert main(["compare", str(bench_files.with_suffix(".npz")),
+                     "--benchmark", str(bench_files.with_suffix(".labels.npz")),
+                     "--labels", str(labels_path), "--min-size", "10"]) == 0
+        assert "Density" in capsys.readouterr().out
+
+
+class TestPipeline:
+    def test_fasta_to_clusters(self, tmp_path, capsys):
+        stem = tmp_path / "seqs"
+        main(["generate", "--families", "4", "--fasta", "--seed", "2",
+              "--out", str(stem)])
+        capsys.readouterr()
+        out_labels = tmp_path / "labels.npz"
+        assert main(["pipeline", str(stem.with_suffix(".fasta")),
+                     "--c1", "15", "--c2", "8",
+                     "--out", str(out_labels)]) == 0
+        out = capsys.readouterr().out
+        assert "homology:" in out
+        assert "clusters of size" in out
+        assert out_labels.exists()
+
+    def test_suffix_filter_mode(self, tmp_path, capsys):
+        stem = tmp_path / "seqs"
+        main(["generate", "--families", "3", "--fasta", "--seed", "4",
+              "--out", str(stem)])
+        capsys.readouterr()
+        assert main(["pipeline", str(stem.with_suffix(".fasta")),
+                     "--pair-filter", "suffix", "--c1", "10", "--c2",
+                     "5"]) == 0
+        assert "clusters" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_kernel_choice_validated(self, bench_files):
+        with pytest.raises(SystemExit):
+            main(["cluster", str(bench_files.with_suffix(".npz")),
+                  "--kernel", "bubble"])

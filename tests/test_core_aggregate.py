@@ -1,0 +1,113 @@
+"""Tests for CPU aggregation and split-list merging."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import (
+    aggregate_pass,
+    fingerprints_from_pairs,
+    merge_split_pairs,
+)
+from repro.device.kernels import SENTINEL, pack_pairs
+from repro.util.mixhash import fold_fingerprint
+
+
+class TestMergeSplitPairs:
+    def test_recovers_global_top_s(self):
+        # chunk tops (hash<<32|id) for one split segment, c=1, s=2
+        c1 = pack_pairs(np.array([[[5, 9]]], dtype=np.uint64),
+                        np.array([[[50, 90]]], dtype=np.uint64))
+        c2 = pack_pairs(np.array([[[3, 7]]], dtype=np.uint64),
+                        np.array([[[30, 70]]], dtype=np.uint64))
+        merged = merge_split_pairs([c1, c2], s=2)
+        hashes = merged >> np.uint64(32)
+        assert list(hashes[0, 0]) == [3, 5]
+
+    def test_sentinel_padding_respected(self):
+        c1 = np.full((1, 1, 2), SENTINEL, dtype=np.uint64)
+        c2 = pack_pairs(np.array([[[4, 6]]], dtype=np.uint64),
+                        np.array([[[1, 2]]], dtype=np.uint64))
+        merged = merge_split_pairs([c1, c2], s=2)
+        assert np.array_equal(merged, c2)
+
+    def test_too_short_union_stays_padded(self):
+        c1 = np.full((1, 1, 2), SENTINEL, dtype=np.uint64)
+        c1[0, 0, 0] = pack_pairs(np.array([7], dtype=np.uint64),
+                                 np.array([1], dtype=np.uint64))[0]
+        merged = merge_split_pairs([c1], s=2)
+        assert merged[0, 0, 1] == SENTINEL
+
+    def test_empty_chunk_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_split_pairs([], s=2)
+
+
+class TestFingerprintsFromPairs:
+    def test_matches_scalar_fold(self):
+        pairs = pack_pairs(np.array([[[2, 8]]], dtype=np.uint64),
+                           np.array([[[20, 80]]], dtype=np.uint64))
+        salts = np.array([42], dtype=np.uint64)
+        fps = fingerprints_from_pairs(pairs, salts)
+        assert fps[0, 0] == fold_fingerprint([20, 80], 42)
+
+
+class TestAggregatePass:
+    def _inputs(self, c=2, n_seg=3, s=2):
+        fps = np.arange(c * n_seg, dtype=np.uint64).reshape(c, n_seg) + 100
+        ids = np.arange(c * n_seg * s, dtype=np.uint64).reshape(c, n_seg, s)
+        top = pack_pairs(np.zeros_like(ids), ids)
+        lengths = np.array([3, 1, 4])  # segment 1 too short for s=2
+        return fps, top, lengths
+
+    def test_short_segments_excluded(self):
+        fps, top, lengths = self._inputs()
+        result = aggregate_pass(fps, top, lengths, s=2)
+        gens = set()
+        for i in range(result.n_shingles):
+            gens.update(result.gen_graph.neighbors(i).tolist())
+        assert 1 not in gens
+        assert gens == {0, 2}
+
+    def test_distinct_count(self):
+        fps, top, lengths = self._inputs()
+        result = aggregate_pass(fps, top, lengths, s=2)
+        assert result.n_shingles == 4  # 2 trials x 2 valid segments, all distinct
+
+    def test_shared_fingerprints_grouped(self):
+        fps = np.array([[7, 7, 7]], dtype=np.uint64)
+        ids = np.tile(np.array([1, 2], dtype=np.uint64), (1, 3, 1))
+        top = pack_pairs(np.zeros_like(ids), ids)
+        result = aggregate_pass(fps, top, np.array([2, 2, 2]), s=2)
+        assert result.n_shingles == 1
+        assert list(result.gen_graph.neighbors(0)) == [0, 1, 2]
+        assert list(result.members[0]) == [1, 2]
+
+    def test_empty_input(self):
+        result = aggregate_pass(np.zeros((2, 0), dtype=np.uint64),
+                                np.zeros((2, 0, 2), dtype=np.uint64),
+                                np.zeros(0, dtype=np.int64), s=2)
+        assert result.n_shingles == 0
+        assert result.n_input_segments == 0
+
+    def test_all_segments_too_short(self):
+        fps = np.zeros((1, 2), dtype=np.uint64)
+        top = np.zeros((1, 2, 3), dtype=np.uint64)
+        result = aggregate_pass(fps, top, np.array([1, 2]), s=3)
+        assert result.n_shingles == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_pass(np.zeros((2, 3), dtype=np.uint64),
+                           np.zeros((2, 4, 2), dtype=np.uint64),
+                           np.array([2, 2, 2]), s=2)
+        with pytest.raises(ValueError):
+            aggregate_pass(np.zeros((2, 3), dtype=np.uint64),
+                           np.zeros((2, 3, 2), dtype=np.uint64),
+                           np.array([2, 2]), s=2)
+
+    def test_sentinel_member_leak_detected(self):
+        # A sentinel id in a "valid" segment is a contract violation.
+        fps = np.array([[1]], dtype=np.uint64)
+        top = np.full((1, 1, 2), SENTINEL, dtype=np.uint64)
+        with pytest.raises(AssertionError):
+            aggregate_pass(fps, top, np.array([5]), s=2)

@@ -1,0 +1,144 @@
+"""Tests for component-wise decomposition (divide-and-conquer pClust)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decompose import (
+    _component_buckets,
+    _masked_graph,
+    canonicalize_labels,
+    cluster_by_components,
+)
+from repro.core.params import ShinglingParams
+from repro.core.pipeline import GpClust
+from repro.graph.components import connected_components
+from repro.graph.csr import CSRGraph
+from tests.conftest import random_blocky_graph
+
+
+def multi_component_graph(seed=3) -> CSRGraph:
+    """Several disjoint dense blocks (guaranteed multiple components)."""
+    rng = np.random.default_rng(seed)
+    edges = []
+    base = 0
+    for size in (12, 8, 20, 15, 6):
+        for i in range(size):
+            for j in range(i + 1, size):
+                if rng.random() < 0.7:
+                    edges.append((base + i, base + j))
+        base += size
+    return CSRGraph.from_edges(edges, n_vertices=base + 4)  # + isolates
+
+
+class TestCanonicalizeLabels:
+    def test_idempotent(self):
+        labels = np.array([2, 2, 0, 1, 0])
+        canon = canonicalize_labels(labels)
+        assert np.array_equal(canon, canonicalize_labels(canon))
+
+    def test_orders_by_smallest_member(self):
+        labels = np.array([5, 5, 3, 3, 9])
+        assert list(canonicalize_labels(labels)) == [0, 0, 1, 1, 2]
+
+    def test_preserves_grouping(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 10, size=50)
+        canon = canonicalize_labels(labels)
+        for i in range(50):
+            for j in range(50):
+                assert (labels[i] == labels[j]) == (canon[i] == canon[j])
+
+    def test_empty(self):
+        assert canonicalize_labels(np.array([], dtype=np.int64)).size == 0
+
+
+class TestMaskedGraph:
+    def test_preserves_ids_and_adjacency(self, two_cliques_graph):
+        sub = _masked_graph(two_cliques_graph, np.arange(5))
+        assert sub.n_vertices == two_cliques_graph.n_vertices
+        assert list(sub.neighbors(0)) == list(two_cliques_graph.neighbors(0))
+        assert sub.degree(7) == 0
+
+    def test_edge_count(self, two_cliques_graph):
+        sub = _masked_graph(two_cliques_graph, np.arange(5))
+        assert sub.n_edges == 10  # one K5
+
+
+class TestComponentBuckets:
+    def test_buckets_partition_vertices(self):
+        g = multi_component_graph()
+        labels = connected_components(g)
+        buckets = _component_buckets(labels, g, 3)
+        all_vertices = np.sort(np.concatenate(buckets))
+        assert np.array_equal(all_vertices, np.arange(g.n_vertices))
+
+    def test_components_never_split(self):
+        g = multi_component_graph()
+        labels = connected_components(g)
+        buckets = _component_buckets(labels, g, 3)
+        for bucket in buckets:
+            comps = np.unique(labels[bucket])
+            for comp in comps:
+                members = np.flatnonzero(labels == comp)
+                assert np.isin(members, bucket).all()
+
+    def test_load_balanced(self):
+        g = multi_component_graph()
+        labels = connected_components(g)
+        buckets = _component_buckets(labels, g, 2)
+        degs = g.degrees()
+        loads = [int(degs[b].sum()) for b in buckets]
+        assert max(loads) <= 2 * (sum(loads) / len(loads)) + max(degs)
+
+
+class TestClusterByComponents:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_equals_global_run(self, n_workers):
+        g = multi_component_graph()
+        params = ShinglingParams(c1=20, c2=10, seed=4)
+        global_run = GpClust(params).run(g)
+        decomposed = cluster_by_components(g, params, n_workers=n_workers)
+        assert np.array_equal(decomposed.labels, global_run.labels)
+
+    def test_equals_global_on_noisy_graph(self):
+        g = random_blocky_graph(seed=21)
+        params = ShinglingParams(c1=15, c2=8, seed=4)
+        global_run = GpClust(params).run(g)
+        decomposed = cluster_by_components(g, params, n_workers=3)
+        assert np.array_equal(decomposed.labels, global_run.labels)
+
+    def test_serial_backend(self):
+        g = multi_component_graph()
+        params = ShinglingParams(c1=10, c2=5, seed=4)
+        device = cluster_by_components(g, params, backend="device")
+        serial = cluster_by_components(g, params, backend="serial")
+        assert np.array_equal(device.labels, serial.labels)
+        assert serial.backend == "serial+components"
+
+    def test_timings_merged(self):
+        g = multi_component_graph()
+        result = cluster_by_components(
+            g, ShinglingParams(c1=10, c2=5, seed=1), n_workers=2)
+        assert result.timings.total > 0
+
+    def test_rejects_overlapping_mode(self):
+        g = multi_component_graph()
+        params = ShinglingParams(report_mode="overlapping")
+        with pytest.raises(ValueError):
+            cluster_by_components(g, params)
+
+    def test_rejects_bad_worker_count(self):
+        g = multi_component_graph()
+        with pytest.raises(ValueError):
+            cluster_by_components(g, ShinglingParams(), n_workers=0)
+
+    def test_unknown_backend(self):
+        g = multi_component_graph()
+        with pytest.raises(ValueError):
+            cluster_by_components(g, ShinglingParams(c1=5, c2=5),
+                                  backend="fpga")
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), n_vertices=5)
+        result = cluster_by_components(g, ShinglingParams(c1=5, c2=5))
+        assert np.array_equal(result.labels, np.arange(5))

@@ -1,0 +1,92 @@
+"""Tests for the one-shingle grouping alternative (Section III-B's
+"too aggressive" option) against the default two-level scheme."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ShinglingParams
+from repro.core.pipeline import GpClust, SerialPClust
+from repro.core.report import one_shingle_labels
+from repro.core.serial import serial_shingle_pass
+from repro.eval.confusion import quality_scores
+from repro.eval.partition import Partition
+from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
+from tests.conftest import random_blocky_graph
+
+
+class TestOneShingleLabels:
+    def test_identical_lists_grouped(self):
+        from repro.graph.csr import CSRGraph
+
+        # Vertices 0..3 all adjacent to the same set -> same shingles.
+        g = CSRGraph.from_edges([(i, j) for i in range(4) for j in (4, 5, 6)])
+        cfg = ShinglingParams(c1=8, c2=4, seed=1).pass_config(1)
+        pass1 = serial_shingle_pass(g.indptr, g.indices, cfg)
+        labels = one_shingle_labels(pass1, g.n_vertices)
+        assert labels[0] == labels[1] == labels[2] == labels[3]
+
+    def test_backends_agree(self, blocky_graph):
+        cfg = ShinglingParams(c1=10, c2=5, seed=2).pass_config(1)
+        pass1 = serial_shingle_pass(blocky_graph.indptr, blocky_graph.indices, cfg)
+        a = one_shingle_labels(pass1, blocky_graph.n_vertices, "vectorized")
+        b = one_shingle_labels(pass1, blocky_graph.n_vertices, "unionfind")
+        assert np.array_equal(a, b)
+
+    def test_unknown_backend(self, blocky_graph):
+        cfg = ShinglingParams(c1=4, c2=2).pass_config(1)
+        pass1 = serial_shingle_pass(blocky_graph.indptr, blocky_graph.indices, cfg)
+        with pytest.raises(ValueError):
+            one_shingle_labels(pass1, blocky_graph.n_vertices, "gpu")
+
+
+class TestPipelinesWithGrouping:
+    def test_serial_equals_device(self):
+        g = random_blocky_graph(seed=31)
+        params = ShinglingParams(c1=12, c2=6, seed=3, grouping="one_shingle")
+        serial = SerialPClust(params).run(g)
+        device = GpClust(params).run(g)
+        assert np.array_equal(serial.labels, device.labels)
+        assert serial.n_second_level_shingles == 0
+        assert device.n_second_level_shingles == 0
+
+    def test_one_shingle_merges_at_least_as_much(self):
+        """Sharing ONE shingle is a weaker requirement than sharing a
+        second-level shingle chain, so one-shingle clusters refine-or-equal
+        never: every two-level merge of generators implies a shared
+        first-level shingle... the aggressive mode merges more."""
+        g = random_blocky_graph(seed=32)
+        base = ShinglingParams(c1=15, c2=8, seed=3)
+        two = GpClust(base).run(g)
+        one = GpClust(base.with_overrides(grouping="one_shingle")).run(g)
+        assert one.n_clusters(min_size=2) > 0
+        # Aggressive mode recruits at least as many vertices into clusters.
+        assert (one.n_clustered_vertices(min_size=2)
+                >= 0.8 * two.n_clustered_vertices(min_size=2))
+
+    def test_quality_shape_on_planted_graph(self):
+        """Under union-find partitioning the two schemes converge: any pair
+        of co-generators gets unioned either way (via L(f) directly, or via
+        a second-level shingle over L(f)).  The one-shingle mode must stay
+        in the same quality regime — the paper's "too aggressive" concern
+        is about cluster-boundary formation, which the partition-mode
+        union-find already relaxes for both."""
+        pg = planted_family_graph(
+            PlantedFamilyConfig(n_families=15, family_size_median=100.0),
+            seed=7)
+        base = ShinglingParams(c1=40, c2=20, seed=5)
+        bench = Partition(pg.family_labels)
+        two = quality_scores(
+            Partition(GpClust(base).run(pg.graph).labels), bench, min_size=20)
+        one = quality_scores(
+            Partition(GpClust(base.with_overrides(
+                grouping="one_shingle")).run(pg.graph).labels),
+            bench, min_size=20)
+        assert abs(one.ppv - two.ppv) < 0.05
+        assert abs(one.sensitivity - two.sensitivity) < 0.05
+
+    def test_invalid_combinations(self):
+        with pytest.raises(ValueError):
+            ShinglingParams(grouping="three_level")
+        with pytest.raises(ValueError):
+            ShinglingParams(grouping="one_shingle",
+                            report_mode="overlapping")

@@ -1,0 +1,124 @@
+"""Tests for min-wise hashing Jaccard estimation — the statistical property
+the whole Shingling heuristic rests on."""
+
+import numpy as np
+import pytest
+
+from repro.core.minhash import (
+    estimate_jaccard,
+    estimate_jaccard_matrix,
+    estimation_error_bound,
+    exact_jaccard,
+    minhash_signatures,
+)
+from repro.core.params import ShinglingParams
+from repro.device.kernels import SENTINEL
+from repro.graph.csr import CSRGraph
+from tests.conftest import random_blocky_graph
+
+
+@pytest.fixture(scope="module")
+def sig_setup():
+    graph = random_blocky_graph(seed=17, n=120, n_blocks=3, block=20, p=0.85,
+                                n_noise=60)
+    config = ShinglingParams(c1=400, c2=10, seed=2).pass_config(1)
+    signatures = minhash_signatures(graph, config)
+    return graph, signatures
+
+
+class TestSignatures:
+    def test_shape(self, sig_setup):
+        graph, signatures = sig_setup
+        assert signatures.shape == (400, graph.n_vertices)
+
+    def test_empty_neighborhoods_sentinel(self):
+        g = CSRGraph.from_edges([(0, 1)], n_vertices=3)
+        config = ShinglingParams(c1=5, c2=5, seed=0).pass_config(1)
+        sigs = minhash_signatures(g, config)
+        assert np.all(sigs[:, 2] == SENTINEL)
+        assert np.all(sigs[:, 0] != SENTINEL)
+
+    def test_identical_neighborhoods_identical_signatures(self):
+        # vertices 0 and 1 both adjacent exactly to {2, 3}
+        g = CSRGraph.from_edges([(0, 2), (0, 3), (1, 2), (1, 3)])
+        config = ShinglingParams(c1=16, c2=5, seed=1).pass_config(1)
+        sigs = minhash_signatures(g, config)
+        assert np.array_equal(sigs[:, 0], sigs[:, 1])
+
+    def test_trial_chunk_invariance(self, sig_setup):
+        graph, signatures = sig_setup
+        config = ShinglingParams(c1=400, c2=10, seed=2).pass_config(1)
+        again = minhash_signatures(graph, config, trial_chunk=7)
+        assert np.array_equal(signatures, again)
+
+
+class TestEstimation:
+    def test_estimates_close_to_exact(self, sig_setup):
+        """The core min-wise property: agreement frequency ~= Jaccard."""
+        graph, signatures = sig_setup
+        rng = np.random.default_rng(3)
+        bound = estimation_error_bound(400, confidence=0.999)
+        checked = 0
+        for _ in range(60):
+            u, v = rng.integers(0, graph.n_vertices, size=2)
+            if graph.degree(int(u)) == 0 or graph.degree(int(v)) == 0:
+                continue
+            est = estimate_jaccard(signatures, int(u), int(v))
+            exact = exact_jaccard(graph, int(u), int(v))
+            assert abs(est - exact) <= bound + 0.02, (u, v, est, exact)
+            checked += 1
+        assert checked > 30
+
+    def test_self_similarity(self, sig_setup):
+        graph, signatures = sig_setup
+        v = int(np.argmax(graph.degrees()))
+        assert estimate_jaccard(signatures, v, v) == 1.0
+        assert exact_jaccard(graph, v, v) == 1.0
+
+    def test_empty_neighborhood_is_zero(self):
+        g = CSRGraph.from_edges([(0, 1)], n_vertices=3)
+        config = ShinglingParams(c1=8, c2=5, seed=0).pass_config(1)
+        sigs = minhash_signatures(g, config)
+        assert estimate_jaccard(sigs, 0, 2) == 0.0
+        assert exact_jaccard(g, 0, 2) == 0.0
+
+    def test_matrix_consistent_with_pairwise(self, sig_setup):
+        graph, signatures = sig_setup
+        vertices = np.array([0, 5, 10, 20])
+        mat = estimate_jaccard_matrix(signatures, vertices)
+        for i, u in enumerate(vertices):
+            for j, v in enumerate(vertices):
+                if i == j:
+                    continue
+                assert mat[i, j] == pytest.approx(
+                    estimate_jaccard(signatures, int(u), int(v)))
+
+    def test_matrix_diagonal(self, sig_setup):
+        graph, signatures = sig_setup
+        vertices = np.flatnonzero(graph.degrees() > 0)[:4]
+        mat = estimate_jaccard_matrix(signatures, vertices)
+        assert np.allclose(np.diag(mat), 1.0)
+
+    def test_matrix_empty_vertex_scores_zero(self):
+        g = CSRGraph.from_edges([(0, 1)], n_vertices=3)
+        config = ShinglingParams(c1=8, c2=5, seed=0).pass_config(1)
+        sigs = minhash_signatures(g, config)
+        mat = estimate_jaccard_matrix(sigs, np.array([0, 2]))
+        assert mat[0, 1] == 0.0 and mat[1, 1] == 0.0
+        assert mat[0, 0] == 1.0
+
+
+class TestErrorBound:
+    def test_decreases_with_c(self):
+        assert (estimation_error_bound(400) < estimation_error_bound(100)
+                < estimation_error_bound(25))
+
+    def test_paper_c200_bound(self):
+        # c1=200 bounds the estimate within ~±0.07 at 95%.
+        assert 0.05 < estimation_error_bound(200) < 0.08
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimation_error_bound(0)
+        with pytest.raises(ValueError):
+            estimation_error_bound(10, confidence=1.5)

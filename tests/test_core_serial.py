@@ -1,0 +1,97 @@
+"""Tests for the serial shingling reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ShinglingParams
+from repro.core.serial import serial_shingle_pass, serial_top_s
+from repro.util.mixhash import fold_fingerprint
+
+
+class TestSerialTopS:
+    def test_matches_sorted(self):
+        neighbors = [9, 4, 17, 2, 30]
+        a, b, prime = 37, 11, 101
+        top = serial_top_s(neighbors, a, b, prime, 3)
+        expected = sorted(((a * v + b) % prime, v) for v in neighbors)[:3]
+        assert top == expected
+
+    def test_short_list(self):
+        top = serial_top_s([5], 3, 1, 101, 2)
+        assert top == [((3 * 5 + 1) % 101, 5)]
+
+    def test_empty_list(self):
+        assert serial_top_s([], 3, 1, 101, 2) == []
+
+    @pytest.mark.parametrize("s", [1, 2, 4, 8])
+    def test_sizes(self, s):
+        neighbors = list(range(20))
+        top = serial_top_s(neighbors, 7, 3, 2_147_483_659, s)
+        assert len(top) == min(s, 20)
+        hashes = [h for h, _ in top]
+        assert hashes == sorted(hashes)
+
+
+class TestSerialShinglePass:
+    def _pass(self, lists, s=2, c=6, seed=0):
+        params = ShinglingParams(s1=s, c1=c, s2=s, c2=c, seed=seed)
+        cfg = params.pass_config(1)
+        indptr = np.zeros(len(lists) + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum([len(x) for x in lists])
+        flat = (np.concatenate([np.asarray(x, dtype=np.int64) for x in lists])
+                if any(lists) else np.empty(0, dtype=np.int64))
+        return serial_shingle_pass(indptr, flat, cfg), cfg
+
+    def test_short_lists_generate_no_shingles(self):
+        result, _ = self._pass([[5], [], [1, 2]])
+        gens = set()
+        for i in range(result.n_shingles):
+            gens.update(result.gen_graph.neighbors(i).tolist())
+        assert gens == {2}
+
+    def test_shingle_count_upper_bound(self):
+        result, cfg = self._pass([[1, 2, 3], [4, 5, 6]], c=5)
+        # each qualifying list yields exactly c shingle occurrences
+        assert result.gen_graph.nnz == 2 * 5
+        assert result.n_shingles <= 10
+
+    def test_identical_lists_share_all_shingles(self):
+        result, _ = self._pass([[7, 8, 9], [7, 8, 9]], c=8)
+        for i in range(result.n_shingles):
+            assert list(result.gen_graph.neighbors(i)) == [0, 1]
+
+    def test_disjoint_lists_share_no_shingles(self):
+        result, _ = self._pass([[1, 2, 3], [10, 11, 12]], c=8)
+        for i in range(result.n_shingles):
+            assert result.gen_graph.neighbors(i).size == 1
+
+    def test_members_are_subset_of_list(self):
+        lists = [[3, 7, 11, 15], [2, 4, 6]]
+        result, _ = self._pass(lists)
+        for i in range(result.n_shingles):
+            gens = result.gen_graph.neighbors(i)
+            members = set(result.members[i].tolist())
+            for g in gens:
+                assert members <= set(lists[g])
+
+    def test_fingerprints_sorted_unique(self):
+        result, _ = self._pass([[1, 2, 3, 4], [2, 3, 4, 5]], c=10)
+        fps = result.fingerprints
+        assert np.all(np.diff(fps.astype(np.uint64)) > 0)
+
+    def test_fingerprint_reproducible(self):
+        lists = [[4, 8, 15, 16, 23, 42]]
+        result, cfg = self._pass(lists, c=3)
+        pair = cfg.hash_pairs[0]
+        top = serial_top_s(lists[0], pair.a, pair.b, cfg.prime, 2)
+        fp = fold_fingerprint([v for _, v in top], int(cfg.salts[0]))
+        assert fp in result.fingerprints
+
+    def test_n_input_segments_recorded(self):
+        result, _ = self._pass([[1, 2], [3, 4], []])
+        assert result.n_input_segments == 3
+
+    def test_next_pass_input_shape(self):
+        result, _ = self._pass([[1, 2, 3], [1, 2, 3]], c=4)
+        indptr, elements = result.next_pass_input()
+        assert indptr[-1] == elements.size == result.gen_graph.nnz

@@ -1,0 +1,180 @@
+"""Tests for the weighted Shingling extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ShinglingParams
+from repro.core.weighted import (
+    WeightedGpClust,
+    weighted_keys,
+    weighted_shingle_pass,
+    winner_probabilities,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.weighted import WeightedCSRGraph
+
+
+def weighted_two_cliques(bridge_weight: float = 0.01) -> WeightedCSRGraph:
+    """Two K5s joined by light bridge edges."""
+    edges, weights = [], []
+    for base in (0, 5):
+        for i in range(5):
+            for j in range(i + 1, 5):
+                edges.append((base + i, base + j))
+                weights.append(10.0)
+    for t in range(3):
+        edges.append((t, 5 + t))
+        weights.append(bridge_weight)
+    return WeightedCSRGraph.from_weighted_edges(
+        np.array(edges), np.array(weights), n_vertices=10)
+
+
+class TestWeightedCSRGraph:
+    def test_construction(self):
+        wg = weighted_two_cliques()
+        assert wg.n_vertices == 10
+        assert wg.n_edges == 23
+        assert wg.edge_weight(0, 1) == 10.0
+        assert wg.edge_weight(0, 5) == 0.01
+        assert wg.edge_weight(5, 0) == 0.01  # symmetric
+
+    def test_duplicate_edges_keep_max_weight(self):
+        wg = WeightedCSRGraph.from_weighted_edges(
+            np.array([(0, 1), (1, 0)]), np.array([2.0, 5.0]))
+        assert wg.edge_weight(0, 1) == 5.0
+
+    def test_missing_edge_raises(self):
+        wg = weighted_two_cliques()
+        with pytest.raises(KeyError):
+            wg.edge_weight(0, 9)
+
+    def test_uniform(self, two_cliques_graph):
+        wg = WeightedCSRGraph.uniform(two_cliques_graph, 3.0)
+        assert np.all(wg.weights == 3.0)
+        with pytest.raises(ValueError):
+            WeightedCSRGraph.uniform(two_cliques_graph, 0.0)
+
+    def test_validation(self, two_cliques_graph):
+        with pytest.raises(ValueError):
+            WeightedCSRGraph(two_cliques_graph, np.ones(3))
+        with pytest.raises(ValueError):
+            WeightedCSRGraph(two_cliques_graph,
+                             np.zeros(two_cliques_graph.nnz))
+        with pytest.raises(ValueError):
+            WeightedCSRGraph.from_weighted_edges(
+                np.array([(0, 1)]), np.array([-1.0]))
+
+    def test_neighbors_aligned(self):
+        wg = weighted_two_cliques()
+        nbrs, weights = wg.neighbors(0)
+        assert nbrs.size == weights.size == 5
+
+
+class TestWeightedKeys:
+    def test_deterministic(self):
+        ids = np.arange(10)
+        w = np.ones(10)
+        assert np.array_equal(weighted_keys(ids, w, 7),
+                              weighted_keys(ids, w, 7))
+        assert not np.array_equal(weighted_keys(ids, w, 7),
+                                  weighted_keys(ids, w, 8))
+
+    def test_positive_finite(self):
+        keys = weighted_keys(np.arange(100), np.full(100, 0.001), 3)
+        assert np.all(np.isfinite(keys)) and np.all(keys > 0)
+
+    def test_scaling_with_weight(self):
+        # Same uniforms, bigger weight -> smaller key.
+        ids = np.arange(5)
+        k1 = weighted_keys(ids, np.ones(5), 3)
+        k2 = weighted_keys(ids, np.full(5, 10.0), 3)
+        assert np.allclose(k2, k1 / 10.0)
+
+    def test_winner_probability_proportional_to_weight(self):
+        """The exponential-race property, statistically."""
+        weights = np.array([1.0, 2.0, 4.0, 8.0])
+        probs = winner_probabilities(weights, salt_count=30_000, seed=1)
+        expected = weights / weights.sum()
+        assert np.allclose(probs, expected, atol=0.015)
+
+    def test_equal_weights_uniform_winners(self):
+        probs = winner_probabilities(np.ones(5), salt_count=30_000, seed=2)
+        assert np.allclose(probs, 0.2, atol=0.015)
+
+
+class TestWeightedShinglePass:
+    def test_backends_identical(self):
+        wg = weighted_two_cliques()
+        cfg = ShinglingParams(c1=12, c2=6, seed=4).pass_config(1)
+        vec = weighted_shingle_pass(wg, cfg, backend="vectorized")
+        ser = weighted_shingle_pass(wg, cfg, backend="serial")
+        assert vec == ser
+
+    def test_unknown_backend(self):
+        wg = weighted_two_cliques()
+        cfg = ShinglingParams(c1=4, c2=2).pass_config(1)
+        with pytest.raises(ValueError):
+            weighted_shingle_pass(wg, cfg, backend="quantum")
+
+    def test_members_subset_of_neighborhood(self):
+        wg = weighted_two_cliques()
+        cfg = ShinglingParams(c1=10, c2=5, seed=1).pass_config(1)
+        result = weighted_shingle_pass(wg, cfg)
+        for i in range(result.n_shingles):
+            for gen in result.gen_graph.neighbors(i):
+                nbrs, _ = wg.neighbors(int(gen))
+                assert set(result.members[i].tolist()) <= set(nbrs.tolist())
+
+    def test_heavy_neighbors_dominate_shingles(self):
+        """With one overwhelming edge per vertex, shingles concentrate on
+        the heavy endpoints."""
+        edges = [(0, i) for i in range(1, 8)]
+        weights = [1000.0] + [0.001] * 6
+        wg = WeightedCSRGraph.from_weighted_edges(
+            np.array(edges), np.array(weights), n_vertices=8)
+        cfg = ShinglingParams(s1=1, c1=50, c2=5, seed=0).pass_config(1)
+        result = weighted_shingle_pass(wg, cfg)
+        # vertex 0's s=1 shingles: almost always the heavy neighbor (1)
+        zero_shingles = [i for i in range(result.n_shingles)
+                         if 0 in result.gen_graph.neighbors(i)]
+        members = np.array([result.members[i][0] for i in zero_shingles])
+        heavy_fraction = np.mean(members == 1)
+        assert heavy_fraction > 0.9
+
+
+class TestWeightedGpClust:
+    def test_clusters_cliques(self):
+        wg = weighted_two_cliques()
+        result = WeightedGpClust(ShinglingParams(c1=20, c2=10, seed=3)).run(wg)
+        clusters = result.clusters(min_size=5)
+        as_sets = [set(c.tolist()) for c in clusters]
+        assert {0, 1, 2, 3, 4} in as_sets
+        assert {5, 6, 7, 8, 9} in as_sets
+
+    def test_downweighting_suppresses_bridges(self):
+        """Heavy bridges can merge the cliques; making them light keeps the
+        cliques apart — the point of weighted sampling."""
+        light = WeightedGpClust(ShinglingParams(c1=40, c2=20, seed=3)).run(
+            weighted_two_cliques(bridge_weight=0.0001))
+        assert light.labels[0] != light.labels[5]
+
+    def test_uniform_weights_behave_like_unweighted(self, two_cliques_graph):
+        from repro.core.pipeline import GpClust
+
+        params = ShinglingParams(c1=20, c2=10, seed=3)
+        weighted = WeightedGpClust(params).run(
+            WeightedCSRGraph.uniform(two_cliques_graph))
+        unweighted = GpClust(params).run(two_cliques_graph)
+        # Different sampling machinery (exponential race vs. affine
+        # permutation), same partition on a clean instance.
+        w_sets = {frozenset(c.tolist()) for c in weighted.clusters(min_size=5)}
+        u_sets = {frozenset(c.tolist()) for c in unweighted.clusters(min_size=5)}
+        assert w_sets == u_sets
+
+    def test_overlapping_mode(self):
+        wg = weighted_two_cliques()
+        params = ShinglingParams(c1=15, c2=8, seed=3,
+                                 report_mode="overlapping")
+        result = WeightedGpClust(params).run(wg)
+        assert result.overlapping is not None
+        assert result.n_clusters(min_size=5) >= 2

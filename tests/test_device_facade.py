@@ -1,0 +1,121 @@
+"""Tests for the SimulatedDevice facade (transfers + shingle_batch)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ShinglingParams
+from repro.core.serial import serial_top_s
+from repro.device.device import SimulatedDevice
+from repro.device.kernels import SENTINEL, unpack_pairs
+from repro.device.memory import DeviceMemoryError
+from repro.device.timingmodels import DeviceSpec
+from repro.util.mixhash import fold_fingerprint
+from repro.util.timer import BUCKET_C2G, BUCKET_G2C, BUCKET_GPU
+
+
+@pytest.fixture
+def device():
+    return SimulatedDevice(DeviceSpec(memory_capacity_bytes=16 * 2**20))
+
+
+class TestTransfers:
+    def test_upload_download_round_trip(self, device):
+        host = np.arange(100, dtype=np.int64)
+        buf = device.upload(host)
+        out = device.download(buf)
+        assert np.array_equal(out, host)
+        device.free(buf)
+        assert device.memory.used_bytes == 0
+
+    def test_transfer_buckets_accumulate(self, device):
+        buf = device.upload(np.zeros(1000))
+        device.download(buf)
+        assert device.breakdown.get(BUCKET_C2G) > 0
+        assert device.breakdown.get(BUCKET_G2C) > 0
+        assert device.breakdown.get_modeled(BUCKET_C2G) > 0
+        assert device.breakdown.get_modeled(BUCKET_G2C) > 0
+
+    def test_upload_beyond_capacity_raises(self):
+        tiny = SimulatedDevice(DeviceSpec(memory_capacity_bytes=64))
+        with pytest.raises(DeviceMemoryError):
+            tiny.upload(np.zeros(1000))
+
+
+class TestShingleBatch:
+    def _run(self, device, lists, s=2, c=6, kernel="select", trial_chunk=3):
+        params = ShinglingParams(s1=s, c1=c, s2=s, c2=c, seed=4)
+        cfg = params.pass_config(1)
+        indptr = np.zeros(len(lists) + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum([len(x) for x in lists])
+        flat = (np.concatenate([np.asarray(x, dtype=np.int64) for x in lists])
+                if lists else np.empty(0, dtype=np.int64))
+        d_elem = device.upload(flat)
+        d_ind = device.upload(indptr)
+        fps, top = device.shingle_batch(
+            d_elem, d_ind, a=cfg.a_array, b=cfg.b_array, prime=cfg.prime,
+            s=s, salts=cfg.salts, kernel=kernel, trial_chunk=trial_chunk)
+        device.free(d_elem, d_ind)
+        return cfg, fps, top
+
+    def test_matches_serial_reference(self, device):
+        lists = [[3, 9, 14, 2], [5, 6], [8], [1, 2, 3, 4, 5, 6, 7]]
+        cfg, fps, top = self._run(device, lists)
+        for j, pair in enumerate(cfg.hash_pairs):
+            for seg, lst in enumerate(lists):
+                if len(lst) < 2:
+                    continue
+                ref = serial_top_s(lst, pair.a, pair.b, cfg.prime, 2)
+                ids = [v for _, v in ref]
+                assert fps[j, seg] == fold_fingerprint(ids, int(cfg.salts[j]))
+                _, got_ids = unpack_pairs(top[j, seg])
+                assert list(got_ids.astype(int)) == ids
+
+    def test_sort_and_select_kernels_identical(self, device):
+        lists = [[10, 20, 30], [7, 8, 9, 11], [1]]
+        _, fps_a, top_a = self._run(device, lists, kernel="select")
+        _, fps_b, top_b = self._run(device, lists, kernel="sort")
+        assert np.array_equal(fps_a, fps_b)
+        assert np.array_equal(top_a, top_b)
+
+    def test_short_segments_sentinel(self, device):
+        _, _, top = self._run(device, [[4]], s=3)
+        assert top[0, 0, 0] != SENTINEL
+        assert top[0, 0, 1] == SENTINEL
+
+    def test_trial_chunking_invariance(self, device):
+        lists = [[3, 1, 4, 1 + 4, 9], [2, 6, 5]]
+        _, fps_a, top_a = self._run(device, lists, c=10, trial_chunk=1)
+        _, fps_b, top_b = self._run(device, lists, c=10, trial_chunk=10)
+        assert np.array_equal(fps_a, fps_b)
+        assert np.array_equal(top_a, top_b)
+
+    def test_gpu_bucket_accumulates(self, device):
+        self._run(device, [[1, 2, 3]])
+        assert device.breakdown.get(BUCKET_GPU) > 0
+        assert device.breakdown.get_modeled(BUCKET_GPU) > 0
+
+    def test_device_memory_released_after_batch(self, device):
+        before = device.memory.used_bytes
+        self._run(device, [[1, 2, 3], [4, 5]])
+        assert device.memory.used_bytes == before
+
+    def test_bad_kernel_rejected(self, device):
+        with pytest.raises(ValueError):
+            self._run(device, [[1, 2]], kernel="warp")
+
+    def test_mismatched_params_rejected(self, device):
+        d_elem = device.upload(np.array([1, 2], dtype=np.int64))
+        d_ind = device.upload(np.array([0, 2], dtype=np.int64))
+        with pytest.raises(ValueError):
+            device.shingle_batch(d_elem, d_ind,
+                                 a=np.array([1], dtype=np.uint64),
+                                 b=np.array([1, 2], dtype=np.uint64),
+                                 prime=101, s=2,
+                                 salts=np.array([0], dtype=np.uint64))
+
+    def test_set_breakdown_redirects(self, device):
+        from repro.util.timer import TimeBreakdown
+        fresh = TimeBreakdown()
+        device.set_breakdown(fresh)
+        device.upload(np.zeros(10))
+        assert fresh.get(BUCKET_C2G) > 0

@@ -1,0 +1,175 @@
+"""Tests for the device kernels.
+
+The two top-s engines (full segmented sort vs. s-round segmented-min
+selection) must be bit-identical; both must agree with a plain per-segment
+reference computed with sorted().
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.kernels import (
+    SENTINEL,
+    affine_hash,
+    count_kernel_elements,
+    fold_fingerprints,
+    pack_pairs,
+    segmented_select_top_s,
+    segmented_sort_top_s,
+    unpack_pairs,
+)
+from repro.util.mixhash import fold_fingerprint
+
+PRIME = 2_147_483_659
+
+
+def reference_top_s(packed_row, indptr, s):
+    """Per-segment sorted()-based reference."""
+    n_seg = len(indptr) - 1
+    out = np.full((n_seg, s), SENTINEL, dtype=np.uint64)
+    for i in range(n_seg):
+        seg = sorted(packed_row[indptr[i]:indptr[i + 1]].tolist())
+        for r, v in enumerate(seg[:s]):
+            out[i, r] = v
+    return out
+
+
+def random_csr(rng, n_seg=12, max_len=9):
+    lengths = rng.integers(0, max_len, size=n_seg)
+    indptr = np.zeros(n_seg + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum(lengths)
+    nnz = int(indptr[-1])
+    # unique values per segment (adjacency lists are duplicate-free)
+    values = np.concatenate([
+        rng.choice(1000, size=l, replace=False) for l in lengths
+    ]) if nnz else np.empty(0, dtype=np.int64)
+    return indptr, values.astype(np.uint64)
+
+
+class TestAffineHash:
+    def test_matches_formula(self):
+        values = np.arange(20, dtype=np.uint64)
+        a = np.array([3, 7], dtype=np.uint64)
+        b = np.array([1, 2], dtype=np.uint64)
+        out = affine_hash(values, a, b, 101)
+        expected = np.stack([(3 * values + 1) % 101, (7 * values + 2) % 101])
+        assert np.array_equal(out, expected)
+
+    def test_prime_bound_enforced(self):
+        with pytest.raises(ValueError):
+            affine_hash(np.array([1], dtype=np.uint64),
+                        np.array([1], dtype=np.uint64),
+                        np.array([0], dtype=np.uint64), 1 << 62)
+
+    def test_no_overflow_near_prime(self):
+        p = PRIME
+        values = np.array([p - 1], dtype=np.uint64)
+        a = np.array([p - 1], dtype=np.uint64)
+        b = np.array([p - 1], dtype=np.uint64)
+        out = int(affine_hash(values, a, b, p)[0, 0])
+        assert out == ((p - 1) * (p - 1) + (p - 1)) % p
+
+
+class TestPackUnpack:
+    def test_round_trip(self):
+        hashed = np.array([[0, 5, 2**31 - 1]], dtype=np.uint64)
+        ids = np.array([7, 0, 2**32 - 1], dtype=np.uint64)
+        packed = pack_pairs(hashed, ids)
+        h, i = unpack_pairs(packed)
+        assert np.array_equal(h, hashed)
+        assert np.array_equal(i, np.broadcast_to(ids, h.shape))
+
+    def test_order_by_hash_then_id(self):
+        packed = pack_pairs(np.array([1, 1, 0], dtype=np.uint64),
+                            np.array([5, 3, 9], dtype=np.uint64))
+        order = np.argsort(packed)
+        assert list(order) == [2, 1, 0]
+
+    def test_large_id_rejected(self):
+        with pytest.raises(ValueError):
+            pack_pairs(np.array([0], dtype=np.uint64),
+                       np.array([1 << 32], dtype=np.uint64))
+
+
+class TestTopS:
+    @pytest.mark.parametrize("s", [1, 2, 3, 5])
+    def test_select_matches_reference(self, s, rng):
+        for trial in range(5):
+            indptr, values = random_csr(np.random.default_rng(trial))
+            hashed = affine_hash(values, np.array([12345], dtype=np.uint64),
+                                 np.array([67], dtype=np.uint64), PRIME)
+            packed = pack_pairs(hashed, values)
+            out = segmented_select_top_s(packed, indptr, s)
+            ref = reference_top_s(packed[0], indptr, s)
+            assert np.array_equal(out[0], ref)
+
+    @pytest.mark.parametrize("s", [1, 2, 4])
+    def test_sort_matches_select(self, s):
+        rng = np.random.default_rng(99)
+        indptr, values = random_csr(rng, n_seg=20, max_len=12)
+        a = rng.integers(1, PRIME, size=6).astype(np.uint64)
+        b = rng.integers(0, PRIME, size=6).astype(np.uint64)
+        packed = pack_pairs(affine_hash(values, a, b, PRIME), values)
+        assert np.array_equal(segmented_select_top_s(packed, indptr, s),
+                              segmented_sort_top_s(packed, indptr, s))
+
+    def test_short_segments_padded_with_sentinel(self):
+        indptr = np.array([0, 1, 1, 3])
+        packed = pack_pairs(np.array([[5, 1, 2]], dtype=np.uint64),
+                            np.array([10, 11, 12], dtype=np.uint64))
+        out = segmented_select_top_s(packed, indptr, 2)
+        assert out[0, 0, 1] == SENTINEL          # segment of length 1
+        assert np.all(out[0, 1] == SENTINEL)     # empty segment
+        assert out[0, 2, 0] < out[0, 2, 1] != SENTINEL
+
+    def test_select_does_not_mutate_input(self):
+        indptr = np.array([0, 3])
+        packed = pack_pairs(np.array([[3, 1, 2]], dtype=np.uint64),
+                            np.array([0, 1, 2], dtype=np.uint64))
+        before = packed.copy()
+        segmented_select_top_s(packed, indptr, 2)
+        assert np.array_equal(packed, before)
+
+    def test_empty_input(self):
+        out = segmented_select_top_s(np.zeros((2, 0), dtype=np.uint64),
+                                     np.array([0, 0]), 2)
+        assert out.shape == (2, 1, 2)
+        assert np.all(out == SENTINEL)
+
+    def test_invalid_indptr_rejected(self):
+        packed = np.zeros((1, 3), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            segmented_select_top_s(packed, np.array([0, 2]), 2)
+
+    @given(st.integers(0, 1000), st.integers(1, 4))
+    @settings(max_examples=60)
+    def test_select_sort_agree_property(self, seed, s):
+        rng = np.random.default_rng(seed)
+        indptr, values = random_csr(rng, n_seg=8, max_len=7)
+        a = rng.integers(1, PRIME, size=3).astype(np.uint64)
+        b = rng.integers(0, PRIME, size=3).astype(np.uint64)
+        packed = pack_pairs(affine_hash(values, a, b, PRIME), values)
+        assert np.array_equal(segmented_select_top_s(packed, indptr, s),
+                              segmented_sort_top_s(packed, indptr, s))
+
+
+class TestFoldFingerprints:
+    def test_matches_scalar(self):
+        ids = np.array([[[3, 9], [1, 4]]], dtype=np.uint64)
+        salts = np.array([17], dtype=np.uint64)
+        out = fold_fingerprints(ids, salts)
+        assert out[0, 0] == fold_fingerprint([3, 9], 17)
+        assert out[0, 1] == fold_fingerprint([1, 4], 17)
+
+
+class TestKernelElementCounts:
+    def test_counts(self):
+        assert count_kernel_elements("transform", 4, 100, 10, 2) == 400
+        assert count_kernel_elements("select", 4, 100, 10, 2) == 800
+        assert count_kernel_elements("reduce", 4, 100, 10, 2) == 80
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            count_kernel_elements("scan", 1, 1, 1, 1)

@@ -1,0 +1,126 @@
+"""Tests for the simulated device memory and cost models."""
+
+import numpy as np
+import pytest
+
+from repro.device.memory import DeviceBuffer, DeviceMemory, DeviceMemoryError
+from repro.device.timingmodels import DeviceSpec, KernelCostModel, TransferModel
+
+
+class TestTransferModel:
+    def test_seconds_scale_with_bytes(self):
+        tm = TransferModel(latency_s=1e-5, bandwidth_bytes_per_s=1e9)
+        assert tm.seconds_for(0) == pytest.approx(1e-5)
+        assert tm.seconds_for(10**9) == pytest.approx(1.0 + 1e-5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TransferModel(latency_s=-1)
+        with pytest.raises(ValueError):
+            TransferModel(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            TransferModel().seconds_for(-1)
+
+
+class TestKernelCostModel:
+    def test_known_kernels(self):
+        km = KernelCostModel()
+        for kernel in ("transform", "sort", "select", "reduce"):
+            assert km.seconds_for(kernel, 10**6) > km.launch_latency_s
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            KernelCostModel().seconds_for("fft", 10)
+
+    def test_negative_elements_rejected(self):
+        with pytest.raises(ValueError):
+            KernelCostModel().seconds_for("sort", -1)
+
+    def test_sort_slower_than_transform(self):
+        km = KernelCostModel()
+        assert km.seconds_for("sort", 10**8) > km.seconds_for("transform", 10**8)
+
+
+class TestDeviceSpec:
+    def test_defaults_are_k20_like(self):
+        spec = DeviceSpec()
+        assert spec.memory_capacity_bytes == 5 * 2**30
+        assert spec.name == "sim-k20"
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(memory_capacity_bytes=0)
+
+
+class TestDeviceMemory:
+    def test_alloc_and_free_accounting(self):
+        mem = DeviceMemory(capacity_bytes=1024)
+        buf = mem.alloc(64, dtype=np.uint64)
+        assert mem.used_bytes == 512
+        buf.free()
+        assert mem.used_bytes == 0
+        assert mem.peak_bytes == 512
+
+    def test_oom_raises(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        with pytest.raises(DeviceMemoryError):
+            mem.alloc(1000, dtype=np.uint64)
+
+    def test_double_free_is_idempotent(self):
+        mem = DeviceMemory(capacity_bytes=1024)
+        buf = mem.alloc(8)
+        buf.free()
+        buf.free()
+        assert mem.used_bytes == 0
+
+    def test_use_after_free_rejected(self):
+        mem = DeviceMemory(capacity_bytes=1024)
+        buf = mem.alloc(8)
+        buf.free()
+        with pytest.raises(RuntimeError):
+            buf.device_view()
+
+    def test_to_device_copies(self):
+        mem = DeviceMemory(capacity_bytes=1 << 20)
+        host = np.arange(10, dtype=np.int64)
+        buf, modeled = mem.to_device(host)
+        host[0] = 999  # mutating host must not affect device copy
+        assert buf.device_view()[0] == 0
+        assert modeled > 0
+        assert mem.bytes_to_device == 80
+
+    def test_to_host_copies(self):
+        mem = DeviceMemory(capacity_bytes=1 << 20)
+        buf, _ = mem.to_device(np.arange(4, dtype=np.int64))
+        out, modeled = mem.to_host(buf)
+        out[0] = 42  # mutating the download must not affect the device
+        assert buf.device_view()[0] == 0
+        assert mem.bytes_to_host == 32
+        assert modeled > 0
+
+    def test_transfer_respects_capacity(self):
+        mem = DeviceMemory(capacity_bytes=64)
+        with pytest.raises(DeviceMemoryError):
+            mem.to_device(np.zeros(100, dtype=np.float64))
+
+    def test_adopt_reserves(self):
+        mem = DeviceMemory(capacity_bytes=100)
+        arr = np.zeros(10, dtype=np.uint64)
+        buf = mem.adopt(arr)
+        assert mem.used_bytes == 80
+        with pytest.raises(DeviceMemoryError):
+            mem.adopt(np.zeros(10, dtype=np.uint64))
+        buf.free()
+
+    def test_reset_counters(self):
+        mem = DeviceMemory(capacity_bytes=1 << 20)
+        mem.to_device(np.zeros(4))
+        mem.reset_counters()
+        assert mem.bytes_to_device == 0
+
+    def test_repr_shows_state(self):
+        mem = DeviceMemory(capacity_bytes=1024)
+        buf = mem.alloc(4)
+        assert "B" in repr(buf)
+        buf.free()
+        assert "freed" in repr(buf)

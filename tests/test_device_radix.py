@@ -1,0 +1,84 @@
+"""Tests for the LSD radix sort kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.radix import radix_argsort, radix_sort, radix_sort_pairs_by_segment
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestRadixSort:
+    def test_basic(self):
+        keys, _ = radix_sort(np.array([5, 3, 9, 1], dtype=np.uint64))
+        assert list(keys) == [1, 3, 5, 9]
+
+    def test_matches_npsort(self, rng):
+        keys = rng.integers(0, 1 << 62, size=5000).astype(np.uint64)
+        sorted_keys, _ = radix_sort(keys)
+        assert np.array_equal(sorted_keys, np.sort(keys))
+
+    def test_payload_permuted_along(self):
+        keys = np.array([30, 10, 20], dtype=np.uint64)
+        values = np.array(["c", "a", "b"])
+        skeys, svalues = radix_sort(keys, values)
+        assert list(skeys) == [10, 20, 30]
+        assert list(svalues) == ["a", "b", "c"]
+
+    def test_stability(self):
+        # equal keys keep input order of their payloads
+        keys = np.array([1, 1, 0, 1], dtype=np.uint64)
+        values = np.arange(4)
+        _, svalues = radix_sort(keys, values)
+        assert list(svalues) == [2, 0, 1, 3]
+
+    def test_early_exit_small_keys(self):
+        # keys below 2^8: a single pass must suffice and still be correct
+        keys = np.array([200, 5, 130, 5], dtype=np.uint64)
+        skeys, _ = radix_sort(keys, bits_per_pass=8)
+        assert list(skeys) == [5, 5, 130, 200]
+
+    def test_empty_and_singleton(self):
+        assert radix_sort(np.array([], dtype=np.uint64))[0].size == 0
+        keys, _ = radix_sort(np.array([7], dtype=np.uint64))
+        assert list(keys) == [7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            radix_sort(np.zeros((2, 2), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            radix_sort(np.array([1], dtype=np.uint64), bits_per_pass=0)
+        with pytest.raises(ValueError):
+            radix_sort(np.array([1, 2], dtype=np.uint64), np.array([1]))
+
+    @given(st.lists(U64, max_size=300), st.sampled_from([4, 8, 11, 16]))
+    @settings(max_examples=60)
+    def test_matches_npsort_property(self, values, bits):
+        keys = np.array(values, dtype=np.uint64)
+        skeys, _ = radix_sort(keys, bits_per_pass=bits)
+        assert np.array_equal(skeys, np.sort(keys))
+
+
+class TestRadixArgsort:
+    def test_matches_stable_argsort(self, rng):
+        keys = rng.integers(0, 1000, size=2000).astype(np.uint64)
+        assert np.array_equal(radix_argsort(keys),
+                              np.argsort(keys, kind="stable"))
+
+
+class TestSegmentedRadix:
+    def test_lexicographic_by_composition(self, rng):
+        n = 3000
+        seg = rng.integers(0, 40, size=n).astype(np.int64)
+        keys = rng.integers(0, 1 << 40, size=n).astype(np.uint64)
+        perm = radix_sort_pairs_by_segment(seg, keys, n_segments=40)
+        ref = np.lexsort((keys, seg))
+        # Both are stable lexicographic sorts -> identical permutations.
+        assert np.array_equal(perm, ref)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            radix_sort_pairs_by_segment(np.array([0]), np.array([1],
+                                        dtype=np.uint64), n_segments=0)

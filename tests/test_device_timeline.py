@@ -1,0 +1,95 @@
+"""Tests for the modeled device execution timeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.device_exec import device_shingle_pass
+from repro.core.params import ShinglingParams
+from repro.device.device import SimulatedDevice
+from repro.device.timeline import Timeline, TimelineEvent
+from repro.device.timingmodels import DeviceSpec
+from tests.conftest import random_blocky_graph
+
+
+class TestTimeline:
+    def test_sequential_recording(self):
+        t = Timeline()
+        t.record("data_c2g", "up", 1.0)
+        t.record("gpu", "k", 2.0)
+        t.record("data_g2c", "down", 0.5)
+        assert t.makespan == pytest.approx(3.5)
+        assert t.events[1].start == pytest.approx(1.0)
+        assert t.lane_total("gpu") == pytest.approx(2.0)
+
+    def test_validation(self):
+        t = Timeline()
+        with pytest.raises(ValueError):
+            t.record("fpga", "x", 1.0)
+        with pytest.raises(ValueError):
+            t.record("gpu", "x", -1.0)
+
+    def test_overlap_hides_uploads_under_compute(self):
+        t = Timeline()
+        # batch 1: upload, compute; batch 2: upload, compute
+        t.record("data_c2g", "up1", 1.0)
+        t.record("gpu", "k1", 2.0)
+        t.record("data_c2g", "up2", 1.0)
+        t.record("gpu", "k2", 2.0)
+        sync_span = t.makespan
+        overlapped = t.overlapped()
+        assert overlapped.makespan < sync_span
+        # up2 runs while k1 computes
+        up2 = overlapped.events[2]
+        k1 = overlapped.events[1]
+        assert up2.start < k1.end
+
+    def test_overlap_respects_dependencies(self):
+        t = Timeline()
+        t.record("gpu", "k", 2.0)
+        t.record("data_g2c", "down", 1.0)
+        overlapped = t.overlapped()
+        down = overlapped.events[1]
+        assert down.start >= 2.0  # result can't ship before it exists
+
+    def test_render_contains_all_lanes(self):
+        t = Timeline()
+        t.record("cpu", "agg", 0.5)
+        t.record("gpu", "k", 1.0)
+        out = t.render(width=40)
+        for lane in ("cpu", "gpu", "data_c2g", "data_g2c"):
+            assert lane in out
+        assert "#" in out
+
+    def test_render_empty(self):
+        assert "empty" in Timeline().render()
+
+
+class TestDeviceRecordsTimeline:
+    def test_pipeline_populates_timeline(self):
+        g = random_blocky_graph(seed=41)
+        timeline = Timeline()
+        device = SimulatedDevice(
+            DeviceSpec(memory_capacity_bytes=2**20), timeline=timeline)
+        cfg = ShinglingParams(c1=8, c2=4, seed=1).pass_config(1)
+        device_shingle_pass(g.indptr, g.indices, cfg, device)
+        lanes = {e.lane for e in timeline.events}
+        assert {"data_c2g", "gpu", "data_g2c"} <= lanes
+        # modeled totals agree with the breakdown's modeled buckets
+        assert timeline.lane_total("gpu") == pytest.approx(
+            device.breakdown.get_modeled("gpu"))
+        assert timeline.lane_total("data_c2g") == pytest.approx(
+            device.breakdown.get_modeled("data_c2g"))
+
+    def test_overlap_never_longer(self):
+        g = random_blocky_graph(seed=42)
+        timeline = Timeline()
+        device = SimulatedDevice(
+            DeviceSpec(memory_capacity_bytes=2**20), timeline=timeline)
+        cfg = ShinglingParams(c1=6, c2=3, seed=2).pass_config(1)
+        device_shingle_pass(g.indptr, g.indices, cfg, device)
+        assert timeline.overlapped().makespan <= timeline.makespan + 1e-12
+
+    def test_events_are_frozen(self):
+        e = TimelineEvent("gpu", "k", 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            e.start = 5.0

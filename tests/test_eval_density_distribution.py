@@ -1,0 +1,84 @@
+"""Tests for cluster density (Eq. 6) and the Figure 5 distributions."""
+
+import numpy as np
+import pytest
+
+from repro.eval.density import cluster_densities, density_summary
+from repro.eval.distribution import FIG5_BINS, bin_label, size_distribution
+from repro.eval.partition import Partition
+from repro.graph.csr import CSRGraph
+
+
+class TestDensity:
+    def test_clique_density_is_one(self, two_cliques_graph):
+        labels = np.repeat([0, 1], 5)
+        dens = cluster_densities(two_cliques_graph, Partition(labels), min_size=5)
+        assert np.allclose(dens, 1.0)
+
+    def test_path_cluster_density(self, path_graph):
+        labels = np.zeros(6, dtype=np.int64)
+        dens = cluster_densities(path_graph, Partition(labels), min_size=2)
+        assert dens[0] == pytest.approx(5 / 15)
+
+    def test_min_size_filter(self, two_cliques_graph):
+        labels = np.repeat([0, 1], 5)
+        dens = cluster_densities(two_cliques_graph, Partition(labels), min_size=6)
+        assert dens.size == 0
+
+    def test_cross_cluster_edges_ignored(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        labels = np.array([0, 0, 1, 1])
+        dens = cluster_densities(g, Partition(labels), min_size=2)
+        assert np.allclose(dens, [1.0, 1.0])  # the (1,2) bridge not counted
+
+    def test_summary(self, two_cliques_graph):
+        labels = np.repeat([0, 1], 5)
+        mean, std = density_summary(two_cliques_graph, Partition(labels), min_size=5)
+        assert mean == pytest.approx(1.0)
+        assert std == pytest.approx(0.0)
+
+    def test_summary_empty(self, path_graph):
+        mean, std = density_summary(path_graph, Partition(np.arange(6)), min_size=2)
+        assert (mean, std) == (0.0, 0.0)
+
+    def test_universe_mismatch_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            cluster_densities(path_graph, Partition(np.zeros(3, dtype=np.int64)))
+
+    def test_singleton_partition_trap(self, blocky_graph):
+        """The paper's caveat: all-singletons would trivially score 1.0 if
+        unfiltered — the min_size filter must exclude that regime."""
+        singles = Partition(np.arange(blocky_graph.n_vertices))
+        assert cluster_densities(blocky_graph, singles, min_size=20).size == 0
+
+
+class TestSizeDistribution:
+    def test_fig5_bins_match_paper(self):
+        labels = [bin_label(b) for b in FIG5_BINS]
+        assert labels == ["20-49", "50-99", "100-199", "200-499",
+                          "500-999", "1000-2000", ">2000"]
+
+    def test_binning(self):
+        sizes = [25, 30, 75, 150, 300, 700, 1500, 2500, 10]  # last two edge
+        labels = np.repeat(np.arange(len(sizes)), sizes)
+        dist = size_distribution(Partition(labels))
+        assert list(dist.group_counts) == [2, 1, 1, 1, 1, 1, 1]
+        assert dist.sequence_counts[0] == 55
+        assert dist.sequence_counts[-1] == 2500
+        # the size-10 group falls below every bin
+        assert dist.total_sequences == sum(sizes) - 10
+
+    def test_bin_boundaries_inclusive(self):
+        sizes = [20, 49, 50, 2000, 2001]
+        labels = np.repeat(np.arange(len(sizes)), sizes)
+        dist = size_distribution(Partition(labels))
+        assert dist.group_counts[0] == 2      # 20 and 49
+        assert dist.group_counts[1] == 1      # 50
+        assert dist.group_counts[5] == 1      # 2000
+        assert dist.group_counts[6] == 1      # 2001
+
+    def test_totals(self):
+        labels = np.repeat([0, 1], [30, 60])
+        dist = size_distribution(Partition(labels))
+        assert dist.total_groups == 2
+        assert dist.total_sequences == 90

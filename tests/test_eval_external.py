@@ -1,0 +1,126 @@
+"""Tests for the external clustering indices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.external import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    pair_f1,
+    purity,
+)
+from repro.eval.partition import Partition
+
+labels_strategy = st.lists(st.integers(0, 5), min_size=2, max_size=30)
+
+
+def P(labels):
+    return Partition(np.asarray(labels, dtype=np.int64))
+
+
+class TestARI:
+    def test_identical_is_one(self):
+        p = P([0, 0, 1, 1, 2])
+        assert adjusted_rand_index(p, p) == pytest.approx(1.0)
+
+    def test_label_permutation_invariant(self):
+        a = P([0, 0, 1, 1, 2, 2])
+        b = P([2, 2, 0, 0, 1, 1])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_orthogonal_partitions_low(self):
+        a = P([0, 0, 1, 1])
+        b = P([0, 1, 0, 1])
+        assert adjusted_rand_index(a, b) < 0.01
+
+    def test_known_value(self):
+        # Classic example: matches sklearn's adjusted_rand_score.
+        a = P([0, 0, 1, 1])
+        b = P([0, 0, 1, 2])
+        assert adjusted_rand_index(a, b) == pytest.approx(0.5714285714, abs=1e-9)
+
+    @given(labels_strategy, labels_strategy)
+    @settings(max_examples=100)
+    def test_range_and_symmetry(self, a, b):
+        n = min(len(a), len(b))
+        pa, pb = P(a[:n]), P(b[:n])
+        ari = adjusted_rand_index(pa, pb)
+        assert -1.0 <= ari <= 1.0
+        assert ari == pytest.approx(adjusted_rand_index(pb, pa))
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        p = P([0, 0, 1, 2, 2])
+        assert normalized_mutual_information(p, p) == pytest.approx(1.0)
+
+    def test_constant_vs_varied(self):
+        a = P([0, 0, 0, 0])
+        b = P([0, 0, 1, 1])
+        # One side has zero entropy but not the other: NMI defined via the
+        # arithmetic mean, MI is 0.
+        assert normalized_mutual_information(a, b) == pytest.approx(0.0)
+
+    def test_both_trivial(self):
+        a = P([0, 0, 0])
+        assert normalized_mutual_information(a, a) == 1.0
+
+    @given(labels_strategy, labels_strategy)
+    @settings(max_examples=100)
+    def test_range_and_symmetry(self, a, b):
+        n = min(len(a), len(b))
+        pa, pb = P(a[:n]), P(b[:n])
+        nmi = normalized_mutual_information(pa, pb)
+        assert 0.0 <= nmi <= 1.0
+        assert nmi == pytest.approx(normalized_mutual_information(pb, pa),
+                                    abs=1e-12)
+
+
+class TestPurity:
+    def test_pure_clusters(self):
+        test = P([0, 0, 1, 1])
+        bench = P([0, 0, 1, 1])
+        assert purity(test, bench) == 1.0
+
+    def test_mixed_cluster(self):
+        test = P([0, 0, 0, 0])
+        bench = P([0, 0, 0, 1])
+        assert purity(test, bench) == pytest.approx(0.75)
+
+    def test_singletons_always_pure(self):
+        test = P([0, 1, 2, 3])
+        bench = P([0, 0, 1, 1])
+        assert purity(test, bench) == 1.0
+
+    @given(labels_strategy, labels_strategy)
+    @settings(max_examples=60)
+    def test_range(self, a, b):
+        n = min(len(a), len(b))
+        assert 0.0 < purity(P(a[:n]), P(b[:n])) <= 1.0
+
+
+class TestPairF1:
+    def test_identical_is_one(self):
+        p = P([0, 0, 1, 1])
+        assert pair_f1(p, p) == 1.0
+
+    def test_harmonic_mean_of_ppv_se(self):
+        from repro.eval.confusion import quality_scores
+
+        test = P([0, 0, 1, 1, 2])
+        bench = P([0, 0, 0, 1, 1])
+        qs = quality_scores(test, bench, min_size=None)
+        prec, rec = qs.ppv, qs.sensitivity
+        expected = 2 * prec * rec / (prec + rec)
+        assert pair_f1(test, bench) == pytest.approx(expected)
+
+    def test_all_singletons_vs_grouped(self):
+        test = P([0, 1, 2, 3])
+        bench = P([0, 0, 0, 0])
+        assert pair_f1(test, bench) == 0.0
+
+    def test_universe_mismatch(self):
+        with pytest.raises(ValueError):
+            pair_f1(P([0, 0]), P([0, 0, 0]))

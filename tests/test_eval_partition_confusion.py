@@ -1,0 +1,175 @@
+"""Tests for Partition, pair confusion, and the Table III scores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.confusion import pair_confusion, quality_scores
+from repro.eval.partition import Partition, partition_stats
+
+labels_strategy = st.lists(st.integers(0, 6), min_size=2, max_size=40)
+
+
+class TestPartition:
+    def test_basic(self):
+        p = Partition(np.array([0, 0, 1, 2]))
+        assert p.n_vertices == 4
+        assert list(p.group_sizes()) == [2, 1, 1]
+        assert p.n_groups(min_size=2) == 1
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([0, -1]))
+
+    def test_from_clusters(self):
+        p = Partition.from_clusters([np.array([0, 2]), np.array([3])], 5)
+        assert p.labels[0] == p.labels[2]
+        assert p.labels[1] != p.labels[4]
+        assert p.n_vertices == 5
+
+    def test_from_clusters_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            Partition.from_clusters([np.array([0, 1]), np.array([1, 2])], 3)
+
+    def test_groups(self):
+        p = Partition(np.array([1, 0, 1, 0, 2]))
+        groups = p.groups(min_size=2)
+        as_sets = [set(g.tolist()) for g in groups]
+        assert {0, 2} in as_sets and {1, 3} in as_sets
+        assert len(groups) == 2
+
+    def test_filtered_dissolves_small_groups(self):
+        p = Partition(np.array([0, 0, 0, 1, 1, 2]))
+        f = p.filtered(min_size=3)
+        assert f.group_sizes().max() == 3
+        assert f.n_groups(min_size=2) == 1
+        # dissolved vertices become distinct singletons
+        assert f.labels[3] != f.labels[4]
+
+    def test_filtered_noop_when_all_large(self):
+        p = Partition(np.array([0, 0, 1, 1]))
+        f = p.filtered(min_size=2)
+        assert f.n_groups(min_size=2) == 2
+
+    def test_n_clustered(self):
+        p = Partition(np.array([0, 0, 1, 2, 3]))
+        assert p.n_clustered(min_size=2) == 2
+
+
+class TestPartitionStats:
+    def test_table4_shape(self):
+        sizes = [25] * 3 + [40] + [5] * 10
+        labels = np.repeat(np.arange(len(sizes)), sizes)
+        stats = partition_stats(Partition(labels), "test", min_size=20)
+        assert stats.n_groups == 4
+        assert stats.n_sequences == 115
+        assert stats.largest_group == 40
+        assert stats.avg_group == pytest.approx(115 / 4)
+
+    def test_empty(self):
+        stats = partition_stats(Partition(np.arange(5)), "empty", min_size=20)
+        assert stats.n_groups == 0
+        assert stats.table_row()[1] == "0"
+
+
+class TestPairConfusion:
+    def test_identical_partitions(self):
+        p = Partition(np.array([0, 0, 1, 1, 2]))
+        conf = pair_confusion(p, p)
+        assert conf.fp == conf.fn == 0
+        assert conf.tp == 2
+        assert conf.total == 10
+
+    def test_orthogonal_partitions(self):
+        test = Partition(np.array([0, 0, 1, 1]))
+        bench = Partition(np.array([0, 1, 0, 1]))
+        conf = pair_confusion(test, bench)
+        assert conf.tp == 0
+        assert conf.fp == 2
+        assert conf.fn == 2
+        assert conf.tn == 2
+
+    def test_sub_partition_has_no_fp(self):
+        # test splits each benchmark group -> pure but insensitive
+        bench = Partition(np.array([0, 0, 0, 0]))
+        test = Partition(np.array([0, 0, 1, 1]))
+        conf = pair_confusion(test, bench)
+        assert conf.fp == 0
+        assert conf.tp == 2
+        assert conf.fn == 4
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pair_confusion(Partition(np.zeros(3, dtype=np.int64)),
+                           Partition(np.zeros(4, dtype=np.int64)))
+
+    def test_tiny_universe(self):
+        conf = pair_confusion(Partition(np.array([0])),
+                              Partition(np.array([0])))
+        assert conf.total == 0
+
+    @given(labels_strategy, labels_strategy)
+    @settings(max_examples=100)
+    def test_counts_sum_to_all_pairs(self, a, b):
+        n = min(len(a), len(b))
+        test = Partition(np.asarray(a[:n]))
+        bench = Partition(np.asarray(b[:n]))
+        conf = pair_confusion(test, bench)
+        assert conf.total == n * (n - 1) // 2
+        assert min(conf.tp, conf.fp, conf.fn, conf.tn) >= 0
+
+    @given(labels_strategy)
+    @settings(max_examples=50)
+    def test_self_comparison_is_perfect(self, a):
+        p = Partition(np.asarray(a))
+        conf = pair_confusion(p, p)
+        assert conf.fp == 0 and conf.fn == 0
+
+    def test_matches_bruteforce_enumeration(self, rng):
+        n = 30
+        t = Partition(rng.integers(0, 4, size=n))
+        b = Partition(rng.integers(0, 3, size=n))
+        conf = pair_confusion(t, b)
+        tp = fp = fn = tn = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                same_t = t.labels[i] == t.labels[j]
+                same_b = b.labels[i] == b.labels[j]
+                tp += same_t and same_b
+                fp += same_t and not same_b
+                fn += (not same_t) and same_b
+                tn += (not same_t) and (not same_b)
+        assert (conf.tp, conf.fp, conf.fn, conf.tn) == (tp, fp, fn, tn)
+
+
+class TestQualityScores:
+    def test_equations_2_to_5(self):
+        test = Partition(np.array([0, 0, 1, 1, 2, 3]))
+        bench = Partition(np.array([0, 0, 0, 1, 1, 2]))
+        qs = quality_scores(test, bench, min_size=None)
+        c = qs.confusion
+        assert qs.ppv == pytest.approx(c.tp / (c.tp + c.fp))
+        assert qs.npv == pytest.approx(c.tn / (c.fn + c.tn))
+        assert qs.specificity == pytest.approx(c.tn / (c.fp + c.tn))
+        assert qs.sensitivity == pytest.approx(c.tp / (c.tp + c.fn))
+
+    def test_min_size_filter_applied_to_test_only(self):
+        # a pair inside a small test group disappears after filtering
+        test = Partition(np.array([0, 0, 1, 1, 1]))
+        bench = Partition(np.array([0, 0, 0, 0, 0]))
+        qs = quality_scores(test, bench, min_size=3)
+        assert qs.confusion.tp == 3  # only the size-3 group's pairs remain
+
+    def test_degenerate_ratios_default_to_one(self):
+        p = Partition(np.arange(4))
+        qs = quality_scores(p, p, min_size=None)
+        assert qs.ppv == 1.0  # no positive predictions at all
+        assert qs.sensitivity == 1.0
+
+    def test_table_row_format(self):
+        p = Partition(np.array([0, 0, 1]))
+        qs = quality_scores(p, p, min_size=None)
+        row = qs.table_row("x")
+        assert row[0] == "x"
+        assert all(cell.endswith("%") for cell in row[1:])

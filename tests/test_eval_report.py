@@ -1,0 +1,70 @@
+"""Tests for the one-call ComparisonReport."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gos_kneighbor import gos_kneighbor_clustering
+from repro.core.params import ShinglingParams
+from repro.core.pipeline import GpClust
+from repro.eval.partition import Partition
+from repro.eval.report import ComparisonReport
+from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
+
+
+@pytest.fixture(scope="module")
+def report():
+    pg = planted_family_graph(
+        PlantedFamilyConfig(n_families=12, family_size_median=90.0), seed=4)
+    gp = Partition(GpClust(ShinglingParams(c1=40, c2=20, seed=1)).run(pg.graph).labels)
+    gos = Partition(gos_kneighbor_clustering(pg.gos_graph, k=10))
+    bench = Partition(pg.family_labels)
+    return ComparisonReport.compute(pg.graph, {"gpClust": gp, "GOS": gos},
+                                    bench, min_size=20)
+
+
+class TestComparisonReport:
+    def test_methods_present(self, report):
+        assert [m.name for m in report.methods] == ["gpClust", "GOS"]
+        assert report.method("GOS").quality.ppv > 0.99
+        with pytest.raises(KeyError):
+            report.method("mcl")
+
+    def test_measurements_consistent(self, report):
+        for m in report.methods:
+            assert 0.0 <= m.quality.sensitivity <= 1.0
+            assert 0.0 <= m.density_mean <= 1.0
+            assert -1.0 <= m.ari <= 1.0
+            assert 0.0 <= m.f1 <= 1.0
+            assert m.stats.n_groups == int(m.stats.n_groups)
+
+    def test_f1_between_ppv_and_se_extremes(self, report):
+        for m in report.methods:
+            lo = min(m.quality.ppv, m.quality.sensitivity)
+            hi = max(m.quality.ppv, m.quality.sensitivity)
+            assert lo <= m.f1 <= hi
+
+    def test_render_contains_all_tables(self, report):
+        text = report.render()
+        assert "Quality vs. benchmark" in text
+        assert "Partition statistics" in text
+        assert "Group-size distribution" in text
+        assert "gpClust" in text and "GOS" in text
+        assert "Benchmark" in text
+
+    def test_benchmark_row(self, report):
+        assert report.benchmark_stats.n_groups >= 12
+        assert 0.0 < report.benchmark_density[0] < 1.0
+
+    def test_distribution_columns_match_methods(self, report):
+        table = report.distribution_table()
+        header = table.splitlines()[2]
+        assert "gpClust" in header and "GOS" in header
+
+    def test_empty_methods(self):
+        graph_part = Partition(np.array([0, 0, 1]))
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.from_edges([(0, 1)], n_vertices=3)
+        report = ComparisonReport.compute(g, {}, graph_part, min_size=2)
+        assert report.methods == []
+        assert "(no methods)" in report.distribution_table()

@@ -1,0 +1,58 @@
+"""Tests for the out-of-core binary edge format."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.io import build_csr_from_binary, save_binary_edges
+from repro.synthdata.random_graphs import rmat_graph
+from tests.conftest import random_blocky_graph
+
+
+class TestBinaryEdgeIO:
+    def test_round_trip(self, tmp_path, blocky_graph):
+        path = tmp_path / "g.bedg"
+        save_binary_edges(blocky_graph, path)
+        assert build_csr_from_binary(path) == blocky_graph
+
+    @pytest.mark.parametrize("chunk_edges", [1, 7, 1000])
+    def test_chunk_size_invariance(self, tmp_path, chunk_edges):
+        g = random_blocky_graph(seed=61, n=80, n_blocks=3, block=12)
+        path = tmp_path / "g.bedg"
+        save_binary_edges(g, path, chunk_edges=chunk_edges)
+        rebuilt = build_csr_from_binary(path, chunk_edges=chunk_edges)
+        assert rebuilt == g
+
+    def test_empty_graph(self, tmp_path):
+        g = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), n_vertices=5)
+        path = tmp_path / "empty.bedg"
+        save_binary_edges(g, path)
+        rebuilt = build_csr_from_binary(path)
+        assert rebuilt.n_vertices == 5
+        assert rebuilt.n_edges == 0
+
+    def test_isolates_preserved(self, tmp_path):
+        g = CSRGraph.from_edges([(0, 1)], n_vertices=7)
+        path = tmp_path / "g.bedg"
+        save_binary_edges(g, path)
+        assert build_csr_from_binary(path).n_vertices == 7
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bedg"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 8)
+        with pytest.raises(ValueError):
+            build_csr_from_binary(path)
+
+    def test_large_rmat_round_trip(self, tmp_path):
+        g = rmat_graph(scale=12, edge_factor=8, seed=2)
+        path = tmp_path / "rmat.bedg"
+        save_binary_edges(g, path, chunk_edges=4096)
+        rebuilt = build_csr_from_binary(path, chunk_edges=4096)
+        assert rebuilt == g
+
+    def test_valid_csr_output(self, tmp_path, blocky_graph):
+        path = tmp_path / "g.bedg"
+        save_binary_edges(blocky_graph, path)
+        rebuilt = build_csr_from_binary(path)
+        # full validation including symmetry
+        CSRGraph(rebuilt.indptr, rebuilt.indices, check_symmetry=True)

@@ -1,0 +1,129 @@
+"""Tests for connected components (both engines) and BipartiteCSR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import BipartiteCSR
+from repro.graph.components import (
+    bipartite_components,
+    component_sizes,
+    connected_components,
+    largest_component_size,
+)
+from repro.graph.csr import CSRGraph
+
+
+class TestConnectedComponents:
+    def test_two_cliques(self, two_cliques_graph):
+        labels = connected_components(two_cliques_graph)
+        assert np.array_equal(labels, np.repeat([0, 1], 5))
+
+    def test_path_is_one_component(self, path_graph):
+        labels = connected_components(path_graph)
+        assert np.unique(labels).size == 1
+
+    def test_isolates_are_singletons(self):
+        g = CSRGraph.from_edges([(0, 1)], n_vertices=4)
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert len({labels[0], labels[2], labels[3]}) == 3
+
+    def test_engines_agree(self, blocky_graph):
+        lp = connected_components(blocky_graph, method="label_propagation")
+        bfs = connected_components(blocky_graph, method="bfs")
+        assert np.array_equal(lp, bfs)
+
+    def test_unknown_method_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            connected_components(path_graph, method="magic")
+
+    def test_labels_are_dense_and_canonical(self, blocky_graph):
+        labels = connected_components(blocky_graph)
+        seen = []
+        for lab in labels:
+            if lab not in seen:
+                seen.append(lab)
+        assert seen == list(range(len(seen)))
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)),
+                    max_size=40))
+    @settings(max_examples=60)
+    def test_engines_agree_property(self, edges):
+        g = CSRGraph.from_edges(
+            np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+            if edges else np.empty((0, 2), dtype=np.int64), n_vertices=20)
+        assert np.array_equal(connected_components(g, "label_propagation"),
+                              connected_components(g, "bfs"))
+
+    def test_component_sizes(self, two_cliques_graph):
+        labels = connected_components(two_cliques_graph)
+        assert list(component_sizes(labels)) == [5, 5]
+
+    def test_largest_component_size(self, blocky_graph):
+        labels = connected_components(blocky_graph)
+        assert largest_component_size(blocky_graph) == int(component_sizes(labels).max())
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), n_vertices=0)
+        assert connected_components(g).size == 0
+        assert largest_component_size(g) == 0
+
+
+class TestBipartiteComponents:
+    def test_simple_bipartite(self):
+        # left0 - right0 - left1; left2 - right1
+        indptr = np.array([0, 1, 2, 3])
+        indices = np.array([0, 0, 1])
+        left, right = bipartite_components(indptr, indices, n_right=2)
+        assert left[0] == left[1] == right[0]
+        assert left[2] == right[1]
+        assert left[0] != left[2]
+
+    def test_isolated_right_nodes(self):
+        indptr = np.array([0, 1])
+        indices = np.array([0])
+        left, right = bipartite_components(indptr, indices, n_right=3)
+        assert left[0] == right[0]
+        assert len({right[1], right[2], left[0]}) == 3
+
+
+class TestBipartiteCSR:
+    def test_from_lists(self):
+        b = BipartiteCSR.from_lists([np.array([0, 2]), np.array([1])], n_right=3)
+        assert b.n_left == 2
+        assert b.n_right == 3
+        assert b.nnz == 3
+        assert list(b.neighbors(0)) == [0, 2]
+
+    def test_degrees(self):
+        b = BipartiteCSR.from_lists([np.array([0, 1]), np.array([], dtype=np.int64)],
+                                    n_right=2)
+        assert list(b.degrees()) == [2, 0]
+        assert list(b.right_degrees()) == [1, 1]
+
+    def test_transpose_round_trip(self):
+        b = BipartiteCSR.from_lists(
+            [np.array([0, 2]), np.array([1, 2]), np.array([0])], n_right=3)
+        t = b.transpose()
+        assert t.n_left == 3 and t.n_right == 3
+        assert b.transpose().transpose() == b
+
+    def test_transpose_contents(self):
+        b = BipartiteCSR.from_lists([np.array([1]), np.array([1])], n_right=2)
+        t = b.transpose()
+        assert list(t.neighbors(0)) == []
+        assert list(t.neighbors(1)) == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BipartiteCSR(np.array([0, 2]), np.array([0, 5]), n_right=3)
+        with pytest.raises(ValueError):
+            BipartiteCSR(np.array([1, 2]), np.array([0]), n_right=3)
+        with pytest.raises(ValueError):
+            BipartiteCSR(np.array([0, 1]), np.array([0]), n_right=-1)
+
+    def test_empty(self):
+        b = BipartiteCSR.from_lists([], n_right=0)
+        assert b.n_left == 0 and b.nnz == 0

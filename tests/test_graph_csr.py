@@ -1,0 +1,166 @@
+"""Tests for repro.graph.csr."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+
+
+def edges_strategy(max_n=30, max_m=80):
+    return st.lists(
+        st.tuples(st.integers(0, max_n - 1), st.integers(0, max_n - 1)),
+        min_size=0, max_size=max_m)
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)])
+        assert g.n_vertices == 3
+        assert g.n_edges == 2
+        assert list(g.neighbors(1)) == [0, 2]
+
+    def test_symmetrization(self):
+        g = CSRGraph.from_edges([(0, 1)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_deduplication(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.n_edges == 1
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges([(0, 0), (0, 1)])
+        assert g.n_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_explicit_vertex_count_preserves_isolates(self):
+        g = CSRGraph.from_edges([(0, 1)], n_vertices=5)
+        assert g.n_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_vertex_count_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([(0, 5)], n_vertices=3)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([(-1, 2)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(np.zeros((3, 3), dtype=np.int64))
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), n_vertices=4)
+        assert g.n_vertices == 4
+        assert g.n_edges == 0
+
+    def test_from_adjacency(self):
+        g = CSRGraph.from_adjacency([[1, 2], [0], [0]])
+        assert g.n_vertices == 3
+        assert list(g.neighbors(0)) == [1, 2]
+
+
+class TestValidation:
+    def test_unsorted_neighbors_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2]), np.array([2, 1]))
+
+    def test_duplicate_neighbors_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2]), np.array([1, 1]), validate=True)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([0]))
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_indptr_must_cover_indices(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([0, 1]))
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([1, 2, 0]))
+
+    def test_neighbor_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_asymmetric_adjacency_caught_with_check(self):
+        indptr = np.array([0, 1, 1])
+        indices = np.array([1])
+        with pytest.raises(ValueError):
+            CSRGraph(indptr, indices, check_symmetry=True)
+
+    def test_symmetric_adjacency_passes_check(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)])
+        CSRGraph(g.indptr, g.indices, check_symmetry=True)
+
+
+class TestAccessors:
+    def test_degrees(self, two_cliques_graph):
+        assert np.array_equal(two_cliques_graph.degrees(), np.full(10, 4))
+
+    def test_edges_round_trip(self, blocky_graph):
+        edges = blocky_graph.edges()
+        rebuilt = CSRGraph.from_edges(edges, n_vertices=blocky_graph.n_vertices)
+        assert rebuilt == blocky_graph
+
+    def test_edges_are_canonical(self, blocky_graph):
+        edges = blocky_graph.edges()
+        assert np.all(edges[:, 0] < edges[:, 1])
+        assert edges.shape[0] == blocky_graph.n_edges
+
+    def test_non_singleton_vertices(self):
+        g = CSRGraph.from_edges([(0, 1)], n_vertices=4)
+        assert list(g.non_singleton_vertices()) == [0, 1]
+
+    def test_nnz_is_twice_edges(self, blocky_graph):
+        assert blocky_graph.nnz == 2 * blocky_graph.n_edges
+
+    def test_iteration_yields_all_lists(self, triangle_graph):
+        lists = [list(a) for a in triangle_graph]
+        assert lists == [[1, 2], [0, 2], [0, 1]]
+
+    def test_has_edge(self, path_graph):
+        assert path_graph.has_edge(2, 3)
+        assert not path_graph.has_edge(0, 3)
+
+    def test_repr(self, triangle_graph):
+        assert "n_vertices=3" in repr(triangle_graph)
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self, two_cliques_graph):
+        sub, old_ids = two_cliques_graph.subgraph(np.arange(5))
+        assert sub.n_vertices == 5
+        assert sub.n_edges == 10  # K5
+        assert np.array_equal(old_ids, np.arange(5))
+
+    def test_subgraph_drops_cross_edges(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        sub, _ = g.subgraph(np.array([0, 1, 3]))
+        assert sub.n_edges == 1  # only (0,1) survives
+
+
+class TestProperties:
+    @given(edges_strategy())
+    @settings(max_examples=100)
+    def test_from_edges_invariants(self, edges):
+        g = CSRGraph.from_edges(np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+                                if edges else np.empty((0, 2), dtype=np.int64))
+        # validated construction + symmetric by construction
+        CSRGraph(g.indptr, g.indices, check_symmetry=True)
+        assert int(g.degrees().sum()) == 2 * g.n_edges
+
+    @given(edges_strategy())
+    @settings(max_examples=60)
+    def test_edges_round_trip_property(self, edges):
+        g = CSRGraph.from_edges(np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+                                if edges else np.empty((0, 2), dtype=np.int64))
+        assert CSRGraph.from_edges(g.edges(), n_vertices=g.n_vertices) == g

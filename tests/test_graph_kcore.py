@@ -1,0 +1,106 @@
+"""Tests for k-core decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.kcore import core_filter, core_numbers, k_core
+
+
+def reference_core_numbers(graph: CSRGraph) -> np.ndarray:
+    """Naive iterative-peeling reference."""
+    n = graph.n_vertices
+    core = np.zeros(n, dtype=np.int64)
+    alive = np.ones(n, dtype=bool)
+    degrees = graph.degrees().astype(np.int64).copy()
+    k = 0
+    remaining = n
+    while remaining:
+        while True:
+            peel = np.flatnonzero(alive & (degrees <= k))
+            if peel.size == 0:
+                break
+            for v in peel:
+                core[v] = k
+                alive[v] = False
+                remaining -= 1
+                for u in graph.neighbors(v):
+                    if alive[u]:
+                        degrees[u] -= 1
+        k += 1
+    return core
+
+
+class TestCoreNumbers:
+    def test_clique(self):
+        g = CSRGraph.from_edges([(i, j) for i in range(6)
+                                 for j in range(i + 1, 6)])
+        assert np.all(core_numbers(g) == 5)
+
+    def test_path(self, path_graph):
+        assert np.all(core_numbers(path_graph) == 1)
+
+    def test_isolates(self):
+        g = CSRGraph.from_edges([(0, 1)], n_vertices=4)
+        core = core_numbers(g)
+        assert list(core) == [1, 1, 0, 0]
+
+    def test_clique_with_pendant(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        edges.append((0, 5))  # pendant vertex
+        g = CSRGraph.from_edges(edges)
+        core = core_numbers(g)
+        assert np.all(core[:5] == 4)
+        assert core[5] == 1
+
+    def test_matches_reference(self, blocky_graph):
+        assert np.array_equal(core_numbers(blocky_graph),
+                              reference_core_numbers(blocky_graph))
+
+    @given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)),
+                    max_size=40))
+    @settings(max_examples=80)
+    def test_matches_reference_property(self, edges):
+        g = CSRGraph.from_edges(
+            np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+            if edges else np.empty((0, 2), dtype=np.int64), n_vertices=15)
+        assert np.array_equal(core_numbers(g), reference_core_numbers(g))
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), n_vertices=0)
+        assert core_numbers(g).size == 0
+
+
+class TestKCoreFilter:
+    def test_k_core_selection(self, two_cliques_graph):
+        assert k_core(two_cliques_graph, 4).size == 10
+        assert k_core(two_cliques_graph, 5).size == 0
+
+    def test_negative_k_rejected(self, two_cliques_graph):
+        with pytest.raises(ValueError):
+            k_core(two_cliques_graph, -1)
+
+    def test_core_filter_preserves_ids(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        edges += [(0, 5), (5, 6)]  # a tail
+        g = CSRGraph.from_edges(edges)
+        filtered = core_filter(g, 3)
+        assert filtered.n_vertices == g.n_vertices
+        assert filtered.degree(5) == 0
+        assert filtered.degree(0) == 4
+
+    def test_core_filter_min_degree_invariant(self, blocky_graph):
+        for k in (2, 4, 6):
+            filtered = core_filter(blocky_graph, k)
+            degs = filtered.degrees()
+            assert np.all(degs[degs > 0] >= k)
+
+    def test_core_filter_keeps_clusters(self, two_cliques_graph):
+        from repro.core.params import ShinglingParams
+        from repro.core.pipeline import GpClust
+
+        filtered = core_filter(two_cliques_graph, 4)
+        result = GpClust(ShinglingParams(c1=15, c2=8, seed=1)).run(filtered)
+        assert result.n_clusters(min_size=5) == 2

@@ -1,0 +1,89 @@
+"""Tests for graph statistics (Table II shape) and graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.io import (
+    load_edge_list,
+    load_npz,
+    save_edge_list,
+    save_npz,
+    timed_load,
+)
+from repro.graph.stats import compute_graph_stats, degree_histogram
+
+
+class TestGraphStats:
+    def test_two_cliques(self, two_cliques_graph):
+        stats = compute_graph_stats(two_cliques_graph)
+        assert stats.n_vertices == 10
+        assert stats.n_singletons == 0
+        assert stats.n_edges == 20
+        assert stats.avg_degree == pytest.approx(4.0)
+        assert stats.std_degree == pytest.approx(0.0)
+        assert stats.largest_cc_size == 5
+        assert stats.n_components == 2
+
+    def test_singletons_excluded_from_degree_stats(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)], n_vertices=6)
+        stats = compute_graph_stats(g)
+        assert stats.n_vertices_total == 6
+        assert stats.n_singletons == 3
+        assert stats.n_vertices == 3
+        assert stats.avg_degree == pytest.approx(2.0)
+
+    def test_table_render(self, two_cliques_graph):
+        out = compute_graph_stats(two_cliques_graph).render()
+        assert "# Vertices" in out
+        assert "Largest CC size" in out
+        assert "20" in out
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), n_vertices=3)
+        stats = compute_graph_stats(g)
+        assert stats.n_vertices == 0
+        assert stats.avg_degree == 0.0
+        assert stats.largest_cc_size == 1  # three singleton components
+
+    def test_degree_histogram(self, two_cliques_graph):
+        hist = degree_histogram(two_cliques_graph)
+        assert hist[4] == 10
+        assert hist[:4].sum() == 0
+
+
+class TestGraphIO:
+    def test_edge_list_round_trip(self, tmp_path, blocky_graph):
+        path = tmp_path / "g.edges"
+        save_edge_list(blocky_graph, path, header="test graph")
+        loaded = load_edge_list(path)
+        assert loaded == blocky_graph
+
+    def test_edge_list_preserves_isolates(self, tmp_path):
+        g = CSRGraph.from_edges([(0, 1)], n_vertices=5)
+        path = tmp_path / "g.edges"
+        save_edge_list(g, path)
+        assert load_edge_list(path).n_vertices == 5
+
+    def test_empty_edge_list(self, tmp_path):
+        g = CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64), n_vertices=2)
+        path = tmp_path / "empty.edges"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.n_vertices == 2
+        assert loaded.n_edges == 0
+
+    def test_npz_round_trip(self, tmp_path, blocky_graph):
+        path = tmp_path / "g.npz"
+        save_npz(blocky_graph, path)
+        assert load_npz(path) == blocky_graph
+
+    def test_timed_load_dispatches_on_suffix(self, tmp_path, triangle_graph):
+        p1 = tmp_path / "g.npz"
+        p2 = tmp_path / "g.edges"
+        save_npz(triangle_graph, p1)
+        save_edge_list(triangle_graph, p2)
+        g1, t1 = timed_load(p1)
+        g2, t2 = timed_load(p2)
+        assert g1 == g2 == triangle_graph
+        assert t1 >= 0 and t2 >= 0

@@ -1,0 +1,151 @@
+"""Integration tests: the paper's qualitative claims must hold end-to-end.
+
+These assert the *shape* of the paper's results on the calibrated synthetic
+benchmark — the same assertions the quality benches print as tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gos_kneighbor import gos_kneighbor_clustering
+from repro.core.params import ShinglingParams
+from repro.core.pipeline import GpClust
+from repro.eval.confusion import quality_scores
+from repro.eval.density import density_summary
+from repro.eval.distribution import size_distribution
+from repro.eval.partition import Partition, partition_stats
+from repro.pipeline.end_to_end import run_end_to_end
+from repro.pipeline.workloads import (
+    WORKLOADS,
+    make_quality_workload,
+    make_runtime_workload,
+    workload_params,
+)
+from repro.sequence.generator import SequenceFamilyConfig
+
+
+@pytest.fixture(scope="module")
+def quality_run():
+    """One clustering comparison on the calibrated benchmark graph."""
+    pg = make_quality_workload(scale="small", seed=11)
+    res = GpClust(ShinglingParams(c1=100, c2=50, seed=5)).run(pg.graph)
+    gp = Partition(res.labels)
+    gos = Partition(gos_kneighbor_clustering(pg.gos_graph, k=10))
+    bench = Partition(pg.family_labels)
+    return pg, gp, gos, bench
+
+
+class TestTable3Shape:
+    def test_ppv_ordering(self, quality_run):
+        _, gp, gos, bench = quality_run
+        qs_gp = quality_scores(gp, bench, min_size=20)
+        qs_gos = quality_scores(gos, bench, min_size=20)
+        # Paper: GOS 100.00%, gpClust 97.17%
+        assert qs_gos.ppv > 0.999
+        assert 0.93 <= qs_gp.ppv < qs_gos.ppv
+
+    def test_sensitivity_ordering(self, quality_run):
+        _, gp, gos, bench = quality_run
+        qs_gp = quality_scores(gp, bench, min_size=20)
+        qs_gos = quality_scores(gos, bench, min_size=20)
+        # Paper: gpClust 17.85% > GOS 13.92%
+        assert qs_gp.sensitivity > qs_gos.sensitivity
+        assert qs_gp.sensitivity < 0.5  # both are "core sets": low recall
+
+    def test_specificity_high_for_both(self, quality_run):
+        _, gp, gos, bench = quality_run
+        for part in (gp, gos):
+            qs = quality_scores(part, bench, min_size=20)
+            assert qs.specificity > 0.99
+            assert qs.npv > 0.9
+
+
+class TestTable4Shape:
+    def test_gpclust_reports_more_groups_and_sequences(self, quality_run):
+        _, gp, gos, _ = quality_run
+        st_gp = partition_stats(gp, "gpClust")
+        st_gos = partition_stats(gos, "GOS")
+        # Paper: 6,646 vs 6,152 groups; 1.41M vs 1.24M sequences
+        assert st_gp.n_groups > st_gos.n_groups
+        assert st_gp.n_sequences > st_gos.n_sequences
+
+    def test_benchmark_families_largest(self, quality_run):
+        pg, gp, _, bench = quality_run
+        st_bench = partition_stats(bench, "benchmark", min_size=1)
+        st_gp = partition_stats(gp, "gpClust")
+        assert st_bench.largest_group >= st_gp.largest_group
+
+
+class TestDensityShape:
+    def test_density_ordering(self, quality_run):
+        pg, gp, gos, bench = quality_run
+        d_gp, _ = density_summary(pg.graph, gp, min_size=20)
+        d_gos, _ = density_summary(pg.graph, gos, min_size=20)
+        d_bench, _ = density_summary(pg.graph, bench, min_size=1)
+        # Paper: gpClust 0.75 > GOS 0.40 > benchmark 0.09
+        assert d_gp > d_gos > d_bench
+
+
+class TestFig5Shape:
+    def test_distributions_roughly_similar(self, quality_run):
+        """"both partitions show roughly the same distribution" (Fig. 5)."""
+        _, gp, gos, _ = quality_run
+        dist_gp = size_distribution(gp)
+        dist_gos = size_distribution(gos)
+        # Peaks in the same (low) bins for both.
+        assert dist_gp.group_counts.argmax() <= 1
+        assert dist_gos.group_counts.argmax() <= 1
+
+    def test_sequence_counts_consistent_with_group_counts(self, quality_run):
+        _, gp, _, _ = quality_run
+        dist = size_distribution(gp)
+        for (lo, hi), groups, seqs in zip(dist.bins, dist.group_counts,
+                                          dist.sequence_counts):
+            if groups:
+                assert seqs >= lo * groups
+                if hi is not None:
+                    assert seqs <= hi * groups
+
+
+class TestEndToEnd:
+    def test_full_pipeline_recovers_families(self):
+        report = run_end_to_end(
+            sequence_config=SequenceFamilyConfig(n_families=8), seed=6)
+        assert report.quality.ppv > 0.95
+        assert report.quality.sensitivity > 0.2
+        assert report.clustering.n_clusters(min_size=3) >= 5
+
+    def test_fragmented_reads_still_cluster(self):
+        report = run_end_to_end(
+            sequence_config=SequenceFamilyConfig(
+                n_families=6, fragment=True,
+                ancestor_length=(200, 300)),
+            seed=9)
+        assert report.quality.ppv > 0.9
+        assert report.homology.n_edges > 0
+
+
+class TestWorkloads:
+    def test_registry_complete(self):
+        assert set(WORKLOADS) == {"20k", "2m", "quality", "large"}
+
+    def test_runtime_workloads_scale_ordering(self):
+        small_20k = make_runtime_workload("20k", scale="small")
+        small_2m = make_runtime_workload("2m", scale="small")
+        assert small_2m.graph.n_edges > 2 * small_20k.graph.n_edges
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            make_runtime_workload("4b")
+
+    def test_params_tiers(self):
+        assert workload_params("paper").c1 == 200
+        assert workload_params("small").c1 == 100
+
+    def test_scale_env_validation(self, monkeypatch):
+        from repro.pipeline.workloads import get_scale
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError):
+            get_scale()
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert get_scale() == "small"

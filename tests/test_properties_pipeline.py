@@ -1,0 +1,113 @@
+"""Cross-cutting property tests over the whole clustering pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import ShinglingParams
+from repro.core.pipeline import GpClust
+from repro.core.serial import serial_shingle_pass
+from repro.graph.csr import CSRGraph
+
+
+def random_graph(seed: int, n_max: int = 35, m_max: int = 90) -> CSRGraph:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, n_max))
+    m = int(rng.integers(0, m_max))
+    return CSRGraph.from_edges(rng.integers(0, n, size=(m, 2)), n_vertices=n)
+
+
+class TestPassInvariants:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_occurrence_count_exact(self, seed):
+        """Every vertex with deg >= s generates exactly c shingle
+        occurrences, so gen_graph.nnz == c * n_valid — a strong exactness
+        invariant of the aggregation."""
+        g = random_graph(seed)
+        params = ShinglingParams(c1=7, c2=3, seed=seed)
+        cfg = params.pass_config(1)
+        result = serial_shingle_pass(g.indptr, g.indices, cfg)
+        n_valid = int((g.degrees() >= cfg.s).sum())
+        assert result.gen_graph.nnz == cfg.c * n_valid
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_members_always_neighbors_of_generators(self, seed):
+        g = random_graph(seed)
+        cfg = ShinglingParams(c1=5, c2=3, seed=seed).pass_config(1)
+        result = serial_shingle_pass(g.indptr, g.indices, cfg)
+        for i in range(result.n_shingles):
+            members = set(result.members[i].tolist())
+            for gen in result.gen_graph.neighbors(i).tolist():
+                assert members <= set(g.neighbors(gen).tolist())
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_shingle_members_distinct(self, seed):
+        g = random_graph(seed)
+        cfg = ShinglingParams(s1=2, c1=5, c2=3, seed=seed).pass_config(1)
+        result = serial_shingle_pass(g.indptr, g.indices, cfg)
+        if result.n_shingles:
+            assert np.all(result.members[:, 0] != result.members[:, 1])
+
+
+class TestClusteringInvariants:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_labels_dense_and_canonical(self, seed):
+        g = random_graph(seed)
+        result = GpClust(ShinglingParams(c1=6, c2=3, seed=seed)).run(g)
+        labels = result.labels
+        assert labels.size == g.n_vertices
+        # dense
+        assert set(np.unique(labels)) == set(range(int(labels.max()) + 1))
+        # canonical: first appearance order
+        seen = []
+        for lab in labels.tolist():
+            if lab not in seen:
+                seen.append(lab)
+        assert seen == sorted(seen)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_clusters_partition_vertices(self, seed):
+        g = random_graph(seed)
+        result = GpClust(ShinglingParams(c1=6, c2=3, seed=seed)).run(g)
+        clusters = result.clusters(min_size=1)
+        combined = np.sort(np.concatenate(clusters))
+        assert np.array_equal(combined, np.arange(g.n_vertices))
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_merged_vertices_share_neighborhood_structure(self, seed):
+        """Non-singleton clusters only contain vertices with degree >= 1:
+        isolated vertices can never be recruited."""
+        g = random_graph(seed)
+        result = GpClust(ShinglingParams(c1=6, c2=3, seed=seed)).run(g)
+        degrees = g.degrees()
+        for cluster in result.clusters(min_size=2):
+            assert np.all(degrees[cluster] >= 1)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_timings_buckets_nonnegative(self, seed):
+        g = random_graph(seed)
+        result = GpClust(ShinglingParams(c1=4, c2=2, seed=seed)).run(g)
+        for value in result.timings.measured.values():
+            assert value >= 0.0
+        assert result.timings.total >= 0.0
+
+
+class TestSubsetMonotonicity:
+    def test_adding_an_isolated_vertex_changes_nothing(self):
+        g = random_graph(123)
+        g_plus = CSRGraph(
+            np.concatenate([g.indptr, [g.indptr[-1]]]), g.indices,
+            validate=False)
+        params = ShinglingParams(c1=8, c2=4, seed=3)
+        a = GpClust(params).run(g)
+        b = GpClust(params).run(g_plus)
+        assert np.array_equal(a.labels, b.labels[:-1])
+        assert b.labels[-1] == b.labels.max()

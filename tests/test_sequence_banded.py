@@ -1,0 +1,75 @@
+"""Tests for banded Smith-Waterman (scalar and batched)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence.alphabet import AMINO_ACIDS, encode, random_sequence
+from repro.sequence.mutate import substitute
+from repro.sequence.smith_waterman import (
+    batch_smith_waterman,
+    sw_score_banded,
+    sw_score_linear,
+)
+
+seq_strategy = st.text(alphabet=AMINO_ACIDS, min_size=0, max_size=35)
+
+
+class TestBandedScalar:
+    @given(seq_strategy, seq_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_full_band_equals_unbanded(self, a, b):
+        ea, eb = encode(a), encode(b)
+        band = max(len(a), len(b))
+        assert sw_score_banded(ea, eb, band) == sw_score_linear(ea, eb)
+
+    @given(seq_strategy, seq_strategy,
+           st.integers(0, 10), st.integers(0, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_band(self, a, b, band1, band2):
+        ea, eb = encode(a), encode(b)
+        lo, hi = sorted((band1, band2))
+        assert sw_score_banded(ea, eb, lo) <= sw_score_banded(ea, eb, hi)
+
+    def test_high_identity_pair_needs_tiny_band(self):
+        rng = np.random.default_rng(0)
+        a = random_sequence(150, rng)
+        b = substitute(a, 0.05, rng)  # no indels: diagonal alignment
+        assert sw_score_banded(a, b, 2) == sw_score_linear(a, b)
+
+    def test_band_zero_is_diagonal_only(self):
+        a = encode("ACDEFG")
+        assert sw_score_banded(a, a, 0) == sw_score_linear(a, a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sw_score_banded(encode("A"), encode("A"), -1)
+        with pytest.raises(ValueError):
+            sw_score_banded(encode("A"), encode("A"), 1, gap=-2)
+
+    def test_empty(self):
+        assert sw_score_banded(encode(""), encode("ACD"), 3) == 0
+
+
+class TestBandedBatch:
+    @given(st.lists(st.tuples(seq_strategy, seq_strategy), min_size=1,
+                    max_size=8), st.integers(0, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_banded(self, pairs, band):
+        seqs_a = [encode(a) for a, _ in pairs]
+        seqs_b = [encode(b) for _, b in pairs]
+        batch = batch_smith_waterman(seqs_a, seqs_b, band=band, chunk_size=3)
+        scalar = [sw_score_banded(a, b, band) for a, b in zip(seqs_a, seqs_b)]
+        assert list(batch) == scalar
+
+    def test_band_none_is_full_dp(self, rng):
+        seqs = [rng.integers(0, 20, size=30).astype(np.uint8)
+                for _ in range(6)]
+        full = batch_smith_waterman(seqs, seqs[::-1], band=None)
+        ref = [sw_score_linear(a, b) for a, b in zip(seqs, seqs[::-1])]
+        assert list(full) == ref
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_smith_waterman([encode("A")], [encode("A")], band=-1)

@@ -1,0 +1,123 @@
+"""Tests for PSSM profiles and profile-based family expansion."""
+
+import numpy as np
+import pytest
+
+from repro.sequence.alphabet import AMINO_ACIDS, encode, random_sequence
+from repro.sequence.generator import SequenceFamilyConfig, generate_protein_families
+from repro.sequence.mutate import substitute
+from repro.sequence.profile import (
+    Profile,
+    build_profile,
+    expand_cluster,
+    profile_score,
+    profile_self_score,
+)
+from repro.sequence.smith_waterman import self_score, sw_score_linear
+
+
+class TestBuildProfile:
+    def test_single_member_profile(self):
+        seq = encode("HEAGAWGHEE")
+        profile = build_profile([seq])
+        assert profile.length == 10
+        assert profile.n_members == 1
+        # consensus residue scores highest at every position
+        best = profile.scores[:, :len(AMINO_ACIDS)].argmax(axis=1)
+        assert np.array_equal(best, seq)
+
+    def test_conserved_positions_score_high(self):
+        rng = np.random.default_rng(0)
+        ancestor = random_sequence(60, rng)
+        members = [substitute(ancestor, 0.1, rng) for _ in range(8)]
+        profile = build_profile(members)
+        consensus_scores = profile.scores[
+            np.arange(profile.length), ancestor]
+        assert float(np.mean(consensus_scores > 0)) > 0.8
+
+    def test_reference_is_longest(self):
+        a, b = encode("ACD"), encode("ACDEFGH")
+        profile = build_profile([a, b])
+        assert profile.length == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_profile([])
+        with pytest.raises(ValueError):
+            build_profile([encode("ACD")], pseudocount=0.0)
+
+
+class TestProfileScore:
+    def test_member_scores_near_self(self):
+        rng = np.random.default_rng(1)
+        ancestor = random_sequence(80, rng)
+        members = [substitute(ancestor, 0.08, rng) for _ in range(6)]
+        profile = build_profile(members)
+        denom = profile_self_score(profile)
+        member_scores = [profile_score(profile, m) / denom for m in members]
+        random_score = profile_score(profile, random_sequence(80, rng)) / denom
+        assert min(member_scores) > 0.5
+        assert random_score < min(member_scores)
+
+    def test_profile_more_sensitive_than_pairwise(self):
+        """The paper's rationale: profile matching recruits diverged members
+        that pairwise alignment misses."""
+        rng = np.random.default_rng(2)
+        ancestor = random_sequence(100, rng)
+        core = [substitute(ancestor, 0.05, rng) for _ in range(8)]
+        distant = substitute(ancestor, 0.45, rng)
+        profile = build_profile(core)
+        prof_norm = profile_score(profile, distant) / profile_self_score(profile)
+        pair_norm = (sw_score_linear(core[0], distant)
+                     / min(self_score(core[0]), self_score(distant)))
+        random_seq = random_sequence(100, rng)
+        prof_rand = profile_score(profile, random_seq) / profile_self_score(profile)
+        # the distant member is clearly separable from random under the
+        # profile...
+        assert prof_norm > 2.0 * prof_rand
+        # ...and the profile margin (relative to noise floor) beats pairwise.
+        pair_rand = (sw_score_linear(core[0], random_seq)
+                     / min(self_score(core[0]), self_score(random_seq)))
+        assert prof_norm / max(prof_rand, 1e-9) > pair_norm / max(pair_rand, 1e-9)
+
+    def test_empty_sequence(self):
+        profile = build_profile([encode("ACDEFG")])
+        assert profile_score(profile, encode("")) == 0
+
+    def test_gap_validation(self):
+        profile = build_profile([encode("ACD")])
+        with pytest.raises(ValueError):
+            profile_score(profile, encode("ACD"), gap=-1)
+
+
+class TestExpandCluster:
+    def test_recruits_diverged_family_members(self):
+        ps = generate_protein_families(
+            SequenceFamilyConfig(n_families=4, core_divergence=0.06,
+                                 periphery_divergence=0.40), seed=9)
+        fam0 = np.flatnonzero(ps.family_labels == 0)
+        core0 = fam0[ps.is_core[fam0]]
+        expanded = expand_cluster(ps.sequences, core0,
+                                  min_normalized_score=0.3)
+        # expansion must recruit at least one non-core family-0 member
+        recruits = np.setdiff1d(expanded, core0)
+        assert recruits.size > 0
+        recruit_families = ps.family_labels[recruits]
+        # and stay precise: most recruits from family 0
+        assert np.mean(recruit_families == 0) > 0.8
+
+    def test_core_always_included(self):
+        ps = generate_protein_families(
+            SequenceFamilyConfig(n_families=3), seed=10)
+        core = np.array([0, 1])
+        expanded = expand_cluster(ps.sequences, core)
+        assert set(core.tolist()) <= set(expanded.tolist())
+
+    def test_validation(self):
+        ps = generate_protein_families(
+            SequenceFamilyConfig(n_families=2), seed=1)
+        with pytest.raises(ValueError):
+            expand_cluster(ps.sequences, np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            expand_cluster(ps.sequences, np.array([0]),
+                           min_normalized_score=0.0)

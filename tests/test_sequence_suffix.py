@@ -1,0 +1,141 @@
+"""Tests for the generalized suffix array and the maximal-match filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence.alphabet import AMINO_ACIDS, encode
+from repro.sequence.homology import HomologyConfig, build_homology_graph
+from repro.sequence.suffix import (
+    GeneralizedSuffixArray,
+    build_lcp_array,
+    build_suffix_array,
+    candidate_pairs_suffix,
+)
+
+protein_strings = st.text(alphabet=AMINO_ACIDS[:6], min_size=0, max_size=40)
+
+
+def reference_suffix_array(text):
+    n = len(text)
+    suffixes = sorted(range(n), key=lambda i: list(text[i:]))
+    return np.array(suffixes, dtype=np.int64)
+
+
+class TestSuffixArray:
+    def test_banana_style(self):
+        text = encode("ABAAB".replace("B", "R")).astype(np.int64)
+        sa = build_suffix_array(text)
+        assert np.array_equal(sa, reference_suffix_array(text.tolist()))
+
+    def test_empty_and_single(self):
+        assert build_suffix_array(np.array([], dtype=np.int64)).size == 0
+        assert list(build_suffix_array(np.array([3]))) == [0]
+
+    def test_repetitive_text(self):
+        text = np.zeros(50, dtype=np.int64)  # "AAAA..."
+        sa = build_suffix_array(text)
+        # shortest suffix sorts first
+        assert np.array_equal(sa, np.arange(49, -1, -1))
+
+    @given(protein_strings)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_reference_property(self, s):
+        text = encode(s).astype(np.int64)
+        sa = build_suffix_array(text)
+        assert np.array_equal(sa, reference_suffix_array(text.tolist()))
+
+    @given(protein_strings)
+    @settings(max_examples=80, deadline=None)
+    def test_lcp_correct_property(self, s):
+        text = encode(s).astype(np.int64)
+        sa = build_suffix_array(text)
+        lcp = build_lcp_array(text, sa)
+        tl = text.tolist()
+        for r in range(1, len(tl)):
+            a, b = tl[sa[r - 1]:], tl[sa[r]:]
+            expected = 0
+            while (expected < len(a) and expected < len(b)
+                   and a[expected] == b[expected]):
+                expected += 1
+            assert lcp[r] == expected
+
+
+class TestGeneralizedSuffixArray:
+    def test_separators_prevent_cross_matches(self):
+        # Without unique separators, "AC|CA" could match across boundary.
+        gsa = GeneralizedSuffixArray([encode("ACCC"), encode("CCAA")])
+        assert gsa.text.size == 10  # 4 + 1 + 4 + 1
+        assert gsa.owner.size == 10
+
+    def test_candidate_pairs_exact_match(self):
+        shared = "WYVHEAGAWGH"
+        seqs = [encode("AAA" + shared), encode(shared + "CCC"),
+                encode("RNDRNDRNDRND")]
+        pairs = candidate_pairs_suffix(seqs, min_match_len=8)
+        assert [tuple(p) for p in pairs.tolist()] == [(0, 1)]
+
+    def test_min_match_len_threshold(self):
+        seqs = [encode("HEAGAWGHEE"), encode("HEAGAPPPPP")]  # share 5
+        assert candidate_pairs_suffix(seqs, min_match_len=5).shape[0] == 1
+        assert candidate_pairs_suffix(seqs, min_match_len=6).shape[0] == 0
+
+    def test_no_self_pairs(self):
+        seqs = [encode("ACDACDACDACD")]
+        assert candidate_pairs_suffix(seqs, min_match_len=3).shape[0] == 0
+
+    def test_low_complexity_run_cap(self):
+        seqs = [encode("AAAAAAAAAA") for _ in range(10)]
+        capped = candidate_pairs_suffix(seqs, min_match_len=4, max_run=5)
+        assert capped.shape[0] == 0
+        uncapped = candidate_pairs_suffix(seqs, min_match_len=4, max_run=100)
+        assert uncapped.shape[0] == 45
+
+    def test_empty_input(self):
+        assert candidate_pairs_suffix([], min_match_len=4).shape[0] == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            candidate_pairs_suffix([encode("ACD")], min_match_len=0)
+        with pytest.raises(ValueError):
+            GeneralizedSuffixArray([np.array([99], dtype=np.int64)])
+
+    @given(st.lists(protein_strings, min_size=2, max_size=6),
+           st.integers(3, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_bruteforce(self, strings, min_len):
+        seqs = [encode(s) for s in strings]
+        got = {tuple(p) for p in
+               candidate_pairs_suffix(seqs, min_match_len=min_len,
+                                      max_run=1000).tolist()}
+        expected = set()
+        for i in range(len(strings)):
+            for j in range(i + 1, len(strings)):
+                a, b = strings[i], strings[j]
+                if any(a[p:p + min_len] in b
+                       for p in range(max(len(a) - min_len + 1, 0))):
+                    expected.add((i, j))
+        assert got == expected
+
+
+class TestSuffixFilterInHomology:
+    def test_suffix_mode_builds_similar_graph(self):
+        from repro.sequence.generator import SequenceFamilyConfig, generate_protein_families
+
+        ps = generate_protein_families(
+            SequenceFamilyConfig(n_families=5), seed=4)
+        kmer = build_homology_graph(ps.sequences,
+                                    HomologyConfig(pair_filter="kmer"))
+        suffix = build_homology_graph(
+            ps.sequences, HomologyConfig(pair_filter="suffix",
+                                         min_match_len=8))
+        # Both filters must find the bulk of the same homology structure.
+        kmer_edges = {tuple(e) for e in kmer.graph.edges().tolist()}
+        suffix_edges = {tuple(e) for e in suffix.graph.edges().tolist()}
+        overlap = len(kmer_edges & suffix_edges)
+        assert overlap > 0.7 * max(len(kmer_edges), 1)
+
+    def test_invalid_filter_rejected(self):
+        with pytest.raises(ValueError):
+            HomologyConfig(pair_filter="regex")

@@ -1,0 +1,169 @@
+"""Tests for DNA handling and six-frame ORF extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence.alphabet import decode
+from repro.sequence.translate import (
+    CODON_TABLE,
+    extract_orfs,
+    reverse_complement,
+    reverse_translate,
+    shotgun_reads,
+    six_frame_translation,
+    translate_frame,
+)
+
+dna_strings = st.text(alphabet="ACGT", min_size=0, max_size=120)
+
+
+class TestCodonTable:
+    def test_complete(self):
+        assert len(CODON_TABLE) == 64
+
+    def test_stops(self):
+        assert {c for c, aa in CODON_TABLE.items() if aa == "*"} == {
+            "TAA", "TAG", "TGA"}
+
+    def test_known_codons(self):
+        assert CODON_TABLE["ATG"] == "M"
+        assert CODON_TABLE["TGG"] == "W"
+
+
+class TestReverseComplement:
+    def test_basic(self):
+        assert reverse_complement("ATGC") == "GCAT"
+
+    @given(dna_strings)
+    @settings(max_examples=100)
+    def test_involution(self, dna):
+        assert reverse_complement(reverse_complement(dna)) == dna
+
+    def test_unknown_bases(self):
+        assert reverse_complement("AXG") == "CNT"
+
+
+class TestTranslation:
+    def test_frame0(self):
+        assert translate_frame("ATGGCC") == "MA"
+
+    def test_frames_shift(self):
+        dna = "AATGGCC"
+        assert translate_frame(dna, 1) == "MA"
+
+    def test_stop_codon(self):
+        assert translate_frame("ATGTAAGCC") == "M*A"
+
+    def test_invalid_frame(self):
+        with pytest.raises(ValueError):
+            translate_frame("ATG", 3)
+
+    def test_six_frames_count(self):
+        frames = six_frame_translation("ATGGCCATTGTA")
+        assert len(frames) == 6
+
+    @given(dna_strings)
+    @settings(max_examples=60)
+    def test_frame_lengths(self, dna):
+        for f in range(3):
+            assert len(translate_frame(dna, f)) == max(0, (len(dna) - f) // 3)
+
+
+class TestReverseTranslate:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        protein = rng.integers(0, 20, size=30).astype(np.uint8)
+        dna = reverse_translate(protein, rng)
+        assert translate_frame(dna, 0) == decode(protein)
+
+
+class TestExtractOrfs:
+    def test_finds_embedded_protein(self):
+        rng = np.random.default_rng(0)
+        protein = rng.integers(0, 20, size=50).astype(np.uint8)
+        dna = reverse_translate(protein, rng)
+        orfs = extract_orfs(dna, min_length=40)
+        assert any(decode(protein) in decode(o) for o in orfs)
+
+    def test_finds_protein_on_reverse_strand(self):
+        rng = np.random.default_rng(1)
+        protein = rng.integers(0, 20, size=50).astype(np.uint8)
+        dna = reverse_complement(reverse_translate(protein, rng))
+        orfs = extract_orfs(dna, min_length=40)
+        assert any(decode(protein) in decode(o) for o in orfs)
+
+    def test_min_length_respected(self):
+        orfs = extract_orfs("ATGGCC", min_length=30)
+        assert orfs == []
+
+    def test_stops_break_orfs(self):
+        rng = np.random.default_rng(2)
+        a = reverse_translate(rng.integers(0, 20, size=35).astype(np.uint8), rng)
+        b = reverse_translate(rng.integers(0, 20, size=35).astype(np.uint8), rng)
+        dna = a + "TAA" + b
+        orfs = extract_orfs(dna, min_length=30)
+        lengths = sorted(len(o) for o in orfs if 30 <= len(o) <= 36)
+        assert len(lengths) >= 2  # the two halves show up separately
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            extract_orfs("ATG", min_length=0)
+
+
+class TestShotgunReads:
+    def test_read_properties(self):
+        rng = np.random.default_rng(3)
+        dna = "".join(rng.choice(list("ACGT"), size=500))
+        reads = shotgun_reads(dna, n_reads=20, read_length=80, rng=rng)
+        assert len(reads) == 20
+        assert all(len(r) == 80 for r in reads)
+
+    def test_error_rate(self):
+        rng = np.random.default_rng(4)
+        dna = "A" * 1000
+        reads = shotgun_reads(dna, 10, 200, rng, error_rate=0.2)
+        # With errors, reads are no longer homopolymers (A or its complement T)
+        assert any(set(r) - {"A"} and set(r) - {"T"} for r in reads)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            shotgun_reads("ACGT", 1, 0, rng)
+        with pytest.raises(ValueError):
+            shotgun_reads("ACGT", 1, 10, rng)
+        with pytest.raises(ValueError):
+            shotgun_reads("ACGTACGT", 1, 4, rng, error_rate=2.0)
+
+
+class TestDnaToClusterPipeline:
+    def test_orfs_from_dna_cluster_into_families(self):
+        """Full front end: proteins -> DNA -> shotgun fragments -> ORFs ->
+        homology graph -> clusters recover the families."""
+        from repro.core.params import ShinglingParams
+        from repro.core.pipeline import GpClust
+        from repro.eval.confusion import quality_scores
+        from repro.eval.partition import Partition
+        from repro.sequence.generator import SequenceFamilyConfig, generate_protein_families
+        from repro.sequence.homology import build_homology_graph
+
+        rng = np.random.default_rng(5)
+        ps = generate_protein_families(
+            SequenceFamilyConfig(n_families=4, family_size_median=8.0,
+                                 ancestor_length=(90, 120)), seed=6)
+        orfs, labels = [], []
+        for i, protein in enumerate(ps.sequences):
+            dna = reverse_translate(protein, rng)
+            found = extract_orfs(dna, min_length=min(60, len(protein) - 5))
+            assert found, "embedded protein must be recoverable"
+            orfs.append(max(found, key=len))
+            labels.append(ps.family_labels[i])
+        result = build_homology_graph(orfs)
+        clustering = GpClust(ShinglingParams(c1=20, c2=10, seed=1)).run(result.graph)
+        qs = quality_scores(Partition(clustering.labels),
+                            Partition(np.asarray(labels)), min_size=3)
+        assert qs.ppv > 0.9
+        assert qs.sensitivity > 0.2

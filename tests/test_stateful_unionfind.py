@@ -1,0 +1,74 @@
+"""Stateful property testing of UnionFind against a set-based model."""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.graph.unionfind import UnionFind
+
+N = 24
+
+
+class UnionFindMachine(RuleBasedStateMachine):
+    """Drive UnionFind with random operations; mirror them in a naive
+    model of frozensets and check every observable after every step."""
+
+    def __init__(self):
+        super().__init__()
+        self.uf = UnionFind(N)
+        self.model = [{i} for i in range(N)]
+
+    def _model_find_set(self, x: int) -> set:
+        for group in self.model:
+            if x in group:
+                return group
+        raise AssertionError("unreachable")
+
+    @rule(x=st.integers(0, N - 1), y=st.integers(0, N - 1))
+    def union(self, x, y):
+        self.uf.union(x, y)
+        gx, gy = self._model_find_set(x), self._model_find_set(y)
+        if gx is not gy:
+            gx |= gy
+            self.model.remove(gy)
+
+    @rule(members=st.lists(st.integers(0, N - 1), min_size=1, max_size=6))
+    def union_group(self, members):
+        self.uf.union_group(np.array(members, dtype=np.int64))
+        first = members[0]
+        for other in members[1:]:
+            ga, gb = self._model_find_set(first), self._model_find_set(other)
+            if ga is not gb:
+                ga |= gb
+                self.model.remove(gb)
+
+    @rule(x=st.integers(0, N - 1), y=st.integers(0, N - 1))
+    def check_connected(self, x, y):
+        expected = self._model_find_set(x) is self._model_find_set(y)
+        assert self.uf.connected(x, y) == expected
+
+    @rule(x=st.integers(0, N - 1))
+    def check_set_size(self, x):
+        assert self.uf.set_size(x) == len(self._model_find_set(x))
+
+    @invariant()
+    def component_count_matches(self):
+        assert self.uf.n_components == len(self.model)
+
+    @invariant()
+    def labels_describe_model_partition(self):
+        labels = self.uf.labels()
+        for group in self.model:
+            group_list = sorted(group)
+            first = group_list[0]
+            for member in group_list[1:]:
+                assert labels[member] == labels[first]
+        # distinct groups get distinct labels
+        reps = [sorted(g)[0] for g in self.model]
+        assert len({int(labels[r]) for r in reps}) == len(self.model)
+
+
+TestUnionFindStateful = UnionFindMachine.TestCase
+TestUnionFindStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None)

@@ -1,0 +1,144 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.components import connected_components
+from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
+from repro.synthdata.random_graphs import gnp_graph, rmat_graph
+
+
+class TestPlantedFamilyGraph:
+    @pytest.fixture(scope="class")
+    def pg(self):
+        return planted_family_graph(
+            PlantedFamilyConfig(n_families=10, family_size_median=100.0), seed=3)
+
+    def test_labels_cover_all_vertices(self, pg):
+        assert pg.family_labels.size == pg.n_vertices
+        assert pg.core_labels.size == pg.n_vertices
+        assert np.unique(pg.family_labels).size == 10
+
+    def test_family_sizes_respect_bounds(self, pg):
+        sizes = pg.family_sizes()
+        cfg = pg.config
+        assert sizes.min() >= cfg.min_family_size
+        assert sizes.max() <= cfg.max_family_size
+
+    def test_cores_within_families(self, pg):
+        for core_id in range(pg.n_cores):
+            members = np.flatnonzero(pg.core_labels == core_id)
+            fams = np.unique(pg.family_labels[members])
+            assert fams.size == 1
+            assert fams[0] == pg.core_family[core_id]
+
+    def test_cores_are_dense(self, pg):
+        g = pg.graph
+        for core_id in range(min(pg.n_cores, 5)):
+            members = np.flatnonzero(pg.core_labels == core_id)
+            sub, _ = g.subgraph(members)
+            density = sub.n_edges / (members.size * (members.size - 1) / 2)
+            assert density > 0.7 * pg.config.p_core
+
+    def test_gos_view_is_superset(self, pg):
+        real = {tuple(e) for e in pg.graph.edges().tolist()}
+        gos = {tuple(e) for e in pg.gos_graph.edges().tolist()}
+        assert real <= gos
+        assert len(gos) > len(real)
+
+    def test_gos_extra_edges_within_families(self, pg):
+        real = {tuple(e) for e in pg.graph.edges().tolist()}
+        gos = {tuple(e) for e in pg.gos_graph.edges().tolist()}
+        fam = pg.family_labels
+        for u, v in gos - real:
+            assert fam[u] == fam[v], "GOS-view extras must stay within family"
+
+    def test_deterministic(self):
+        cfg = PlantedFamilyConfig(n_families=5)
+        a = planted_family_graph(cfg, seed=1)
+        b = planted_family_graph(cfg, seed=1)
+        assert a.graph == b.graph
+        assert np.array_equal(a.family_labels, b.family_labels)
+
+    def test_seed_sensitivity(self):
+        cfg = PlantedFamilyConfig(n_families=5)
+        a = planted_family_graph(cfg, seed=1)
+        b = planted_family_graph(cfg, seed=2)
+        assert a.graph != b.graph
+
+    def test_noise_matching_keeps_families_apart(self, pg):
+        """No single vertex should merge two families' cores into one
+        component through noise alone: components of the real graph should
+        be dominated by one family each (mis-attachment is rare)."""
+        labels = connected_components(pg.graph)
+        n_mixed = 0
+        for comp in np.unique(labels):
+            members = np.flatnonzero(labels == comp)
+            if members.size < 5:
+                continue
+            fams, counts = np.unique(pg.family_labels[members],
+                                     return_counts=True)
+            if counts.max() < members.size * 0.8:
+                n_mixed += 1
+        assert n_mixed <= 2
+
+    @pytest.mark.parametrize("kw", [
+        {"n_families": 0}, {"core_fraction": 0.0}, {"p_core": 1.5},
+        {"mis_attach_prob": -0.1}, {"min_family_size": 1},
+        {"core_size": 2}, {"attach_edges": (3, 2)},
+        {"attached_fraction": 0.8, "light_fraction": 0.3},
+    ])
+    def test_invalid_config_rejected(self, kw):
+        with pytest.raises(ValueError):
+            PlantedFamilyConfig(**kw)
+
+
+class TestGnpGraph:
+    def test_edge_count_close_to_expectation(self):
+        g = gnp_graph(200, 0.1, seed=0)
+        expected = 0.1 * 200 * 199 / 2
+        assert 0.8 * expected < g.n_edges < 1.2 * expected
+
+    def test_p_zero_and_one(self):
+        assert gnp_graph(10, 0.0).n_edges == 0
+        assert gnp_graph(10, 1.0).n_edges == 45
+
+    def test_deterministic(self):
+        assert gnp_graph(50, 0.2, seed=4) == gnp_graph(50, 0.2, seed=4)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            gnp_graph(-1, 0.5)
+        with pytest.raises(ValueError):
+            gnp_graph(10, 1.5)
+
+    def test_no_self_loops_or_duplicates(self):
+        g = gnp_graph(60, 0.3, seed=1)
+        edges = g.edges()
+        assert np.all(edges[:, 0] < edges[:, 1])
+        keys = edges[:, 0] * 60 + edges[:, 1]
+        assert np.unique(keys).size == keys.size
+
+
+class TestRmatGraph:
+    def test_size(self):
+        g = rmat_graph(scale=10, edge_factor=8, seed=0)
+        assert g.n_vertices == 1024
+        # dedup/self-loop removal shrinks the count somewhat
+        assert 0.4 * 8 * 1024 < g.n_edges <= 8 * 1024
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(scale=12, edge_factor=8, seed=0)
+        degrees = g.degrees()
+        assert degrees.max() > 8 * degrees[degrees > 0].mean()
+
+    def test_deterministic(self):
+        assert rmat_graph(8, 4, seed=3) == rmat_graph(8, 4, seed=3)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0)
+        with pytest.raises(ValueError):
+            rmat_graph(5, edge_factor=0)
+        with pytest.raises(ValueError):
+            rmat_graph(5, a=0.9, b=0.1, c=0.1)

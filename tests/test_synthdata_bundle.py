@@ -1,0 +1,61 @@
+"""Tests for benchmark bundle persistence."""
+
+import numpy as np
+import pytest
+
+from repro.synthdata.bundle import BenchmarkBundle, load_bundle, save_bundle
+from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return planted_family_graph(
+        PlantedFamilyConfig(n_families=6, family_size_median=70.0), seed=8)
+
+
+class TestBundleRoundTrip:
+    def test_save_load(self, planted, tmp_path):
+        paths = save_bundle(planted, tmp_path / "bench")
+        assert all(p.exists() for p in paths.values())
+        bundle = load_bundle(tmp_path / "bench")
+        assert bundle.graph == planted.graph
+        assert bundle.gos_graph == planted.gos_graph
+        assert np.array_equal(bundle.family_labels, planted.family_labels)
+        assert np.array_equal(bundle.core_labels, planted.core_labels)
+        assert bundle.seed == 8
+
+    def test_cli_generated_bundle_loads(self, tmp_path):
+        from repro.cli import main
+
+        main(["generate", "--families", "4", "--seed", "1",
+              "--out", str(tmp_path / "b")])
+        bundle = load_bundle(tmp_path / "b")
+        assert bundle.n_vertices == bundle.family_labels.size
+        assert bundle.gos_graph.n_edges >= bundle.graph.n_edges
+
+    def test_missing_gos_view_falls_back(self, planted, tmp_path):
+        save_bundle(planted, tmp_path / "b")
+        (tmp_path / "b.gos.npz").unlink()
+        bundle = load_bundle(tmp_path / "b")
+        assert bundle.gos_graph is bundle.graph
+
+    def test_validation(self, planted):
+        with pytest.raises(ValueError):
+            BenchmarkBundle(planted.graph, planted.gos_graph,
+                            np.zeros(3, dtype=np.int64))
+
+    def test_bundle_usable_for_quality_eval(self, planted, tmp_path):
+        from repro.baselines.gos_kneighbor import gos_kneighbor_clustering
+        from repro.core.params import ShinglingParams
+        from repro.core.pipeline import GpClust
+        from repro.eval.partition import Partition
+        from repro.eval.report import ComparisonReport
+
+        save_bundle(planted, tmp_path / "b")
+        bundle = load_bundle(tmp_path / "b")
+        gp = Partition(GpClust(ShinglingParams(c1=15, c2=8, seed=1)).run(bundle.graph).labels)
+        gos = Partition(gos_kneighbor_clustering(bundle.gos_graph, k=10))
+        report = ComparisonReport.compute(
+            bundle.graph, {"gp": gp, "gos": gos},
+            Partition(bundle.family_labels), min_size=10)
+        assert len(report.methods) == 2

@@ -1,0 +1,75 @@
+"""Tests for repro.util.mixhash — scalar/vector equivalence is load-bearing:
+the serial and device paths must fingerprint shingles identically."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.mixhash import (
+    fold_fingerprint,
+    fold_fingerprint_array,
+    mix64,
+    mix64_array,
+    trial_salt,
+)
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestMix64:
+    @given(U64)
+    @settings(max_examples=300)
+    def test_scalar_equals_vectorized(self, x):
+        assert mix64(x) == int(mix64_array(np.array([x], dtype=np.uint64))[0])
+
+    def test_known_avalanche(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        flips = bin(mix64(0) ^ mix64(1)).count("1")
+        assert 16 <= flips <= 48
+
+    @given(U64, U64)
+    @settings(max_examples=200)
+    def test_injective_on_samples(self, x, y):
+        if x != y:
+            assert mix64(x) != mix64(y)
+
+    def test_output_is_64_bits(self):
+        for x in (0, 1, (1 << 64) - 1):
+            assert 0 <= mix64(x) < (1 << 64)
+
+
+class TestFoldFingerprint:
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                    min_size=1, max_size=8), U64)
+    @settings(max_examples=200)
+    def test_scalar_equals_vectorized(self, ids, salt):
+        scalar = fold_fingerprint(ids, salt)
+        vec = fold_fingerprint_array(
+            np.array([ids], dtype=np.uint64), np.array([salt], dtype=np.uint64))
+        assert scalar == int(vec[0])
+
+    def test_order_sensitivity(self):
+        assert fold_fingerprint([1, 2], 0) != fold_fingerprint([2, 1], 0)
+
+    def test_salt_sensitivity(self):
+        assert fold_fingerprint([1, 2], 0) != fold_fingerprint([1, 2], 1)
+
+    def test_batch_shapes(self):
+        ids = np.arange(24, dtype=np.uint64).reshape(2, 4, 3)
+        salts = np.array([[1], [2]], dtype=np.uint64)
+        out = fold_fingerprint_array(ids, salts)
+        assert out.shape == (2, 4)
+        # row salt actually applied
+        out_same = fold_fingerprint_array(ids, np.array([[1], [1]], dtype=np.uint64))
+        assert not np.array_equal(out, out_same)
+
+    def test_no_collisions_on_small_universe(self):
+        seen = {fold_fingerprint([i, j], 0)
+                for i in range(40) for j in range(40)}
+        assert len(seen) == 1600
+
+
+class TestTrialSalt:
+    def test_pass_and_trial_separation(self):
+        salts = {trial_salt(p, t) for p in (1, 2) for t in range(100)}
+        assert len(salts) == 200

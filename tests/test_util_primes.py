@@ -1,0 +1,80 @@
+"""Tests for repro.util.primes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.primes import DEFAULT_PRIME, is_probable_prime, next_prime, random_prime
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 101, 104729, 2_147_483_647, 2_147_483_659]
+KNOWN_COMPOSITES = [4, 6, 9, 15, 100, 104730, 2_147_483_649,
+                    3215031751,  # strong pseudoprime to bases 2,3,5,7
+                    341, 561, 645, 1105]  # Fermat pseudoprimes base 2
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites(self, c):
+        assert not is_probable_prime(c)
+
+    @pytest.mark.parametrize("n", [-5, -1, 0, 1])
+    def test_small_non_primes(self, n):
+        assert not is_probable_prime(n)
+
+    def test_agrees_with_sieve_below_10000(self):
+        limit = 10_000
+        sieve = np.ones(limit, dtype=bool)
+        sieve[:2] = False
+        for i in range(2, int(limit ** 0.5) + 1):
+            if sieve[i]:
+                sieve[i * i::i] = False
+        for n in range(limit):
+            assert is_probable_prime(n) == bool(sieve[n]), n
+
+    @given(st.integers(min_value=2, max_value=2**40))
+    @settings(max_examples=200)
+    def test_product_of_two_factors_is_composite(self, n):
+        # n*(n+1) is never prime for n >= 2.
+        assert not is_probable_prime(n * (n + 1))
+
+
+class TestNextPrime:
+    def test_next_prime_basic(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(3) == 5
+        assert next_prime(10) == 11
+        assert next_prime(13) == 17
+
+    def test_default_prime_is_the_next_prime_after_2_31(self):
+        assert DEFAULT_PRIME == next_prime(2**31)
+        assert is_probable_prime(DEFAULT_PRIME)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50)
+    def test_result_is_prime_and_greater(self, n):
+        p = next_prime(n)
+        assert p > n
+        assert is_probable_prime(p)
+
+
+class TestRandomPrime:
+    def test_bit_width(self, rng):
+        for bits in (8, 16, 24, 31):
+            p = random_prime(bits, rng)
+            assert p.bit_length() <= bits
+            assert is_probable_prime(p)
+
+    def test_rejects_tiny_widths(self, rng):
+        with pytest.raises(ValueError):
+            random_prime(1, rng)
+
+    def test_deterministic_for_seeded_rng(self):
+        a = random_prime(20, np.random.default_rng(1))
+        b = random_prime(20, np.random.default_rng(1))
+        assert a == b

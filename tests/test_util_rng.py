@@ -1,0 +1,99 @@
+"""Tests for repro.util.rng (hash pairs and seeded streams)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.primes import DEFAULT_PRIME
+from repro.util.rng import HashPair, hash_pair_arrays, make_hash_pairs, spawn_rng
+
+
+class TestHashPair:
+    def test_apply_matches_scalar(self):
+        pair = HashPair(a=12345, b=678, prime=DEFAULT_PRIME)
+        values = np.arange(1000, dtype=np.int64)
+        vec = pair.apply(values)
+        scal = np.array([pair.apply_scalar(int(v)) for v in values])
+        assert np.array_equal(vec.astype(np.int64), scal)
+
+    def test_rejects_zero_a(self):
+        with pytest.raises(ValueError):
+            HashPair(a=0, b=1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            HashPair(a=DEFAULT_PRIME, b=0)
+        with pytest.raises(ValueError):
+            HashPair(a=1, b=DEFAULT_PRIME)
+        with pytest.raises(ValueError):
+            HashPair(a=1, b=-1)
+
+    @given(st.integers(min_value=1, max_value=DEFAULT_PRIME - 1),
+           st.integers(min_value=0, max_value=DEFAULT_PRIME - 1))
+    @settings(max_examples=50)
+    def test_is_bijection_on_samples(self, a, b):
+        """Min-wise property needs a permutation: distinct inputs map to
+        distinct outputs."""
+        pair = HashPair(a=a, b=b)
+        values = np.arange(512, dtype=np.uint64)
+        hashed = pair.apply(values)
+        assert np.unique(hashed).size == values.size
+
+    def test_no_overflow_at_prime_boundary(self):
+        pair = HashPair(a=DEFAULT_PRIME - 1, b=DEFAULT_PRIME - 1)
+        v = np.array([DEFAULT_PRIME - 1], dtype=np.uint64)
+        out = int(pair.apply(v)[0])
+        expected = ((DEFAULT_PRIME - 1) * (DEFAULT_PRIME - 1)
+                    + (DEFAULT_PRIME - 1)) % DEFAULT_PRIME
+        assert out == expected
+
+
+class TestMakeHashPairs:
+    def test_count_and_determinism(self):
+        p1 = make_hash_pairs(10, np.random.default_rng(3))
+        p2 = make_hash_pairs(10, np.random.default_rng(3))
+        assert len(p1) == 10
+        assert p1 == p2
+
+    def test_distinct_pairs(self):
+        pairs = make_hash_pairs(100, np.random.default_rng(0))
+        assert len({(p.a, p.b) for p in pairs}) == 100
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            make_hash_pairs(0, np.random.default_rng(0))
+
+
+class TestHashPairArrays:
+    def test_round_trip(self):
+        pairs = make_hash_pairs(5, np.random.default_rng(1))
+        a, b, prime = hash_pair_arrays(pairs)
+        assert prime == DEFAULT_PRIME
+        assert [int(x) for x in a] == [p.a for p in pairs]
+        assert [int(x) for x in b] == [p.b for p in pairs]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            hash_pair_arrays([])
+
+    def test_rejects_mixed_primes(self):
+        pairs = [HashPair(1, 0, prime=101), HashPair(1, 0, prime=103)]
+        with pytest.raises(ValueError):
+            hash_pair_arrays(pairs)
+
+
+class TestSpawnRng:
+    def test_same_seed_same_stream(self):
+        a = spawn_rng(7, "pass1").integers(0, 1 << 30, size=5)
+        b = spawn_rng(7, "pass1").integers(0, 1 << 30, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_streams_differ(self):
+        a = spawn_rng(7, "pass1").integers(0, 1 << 30, size=8)
+        b = spawn_rng(7, "pass2").integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert spawn_rng(gen) is gen

@@ -1,0 +1,131 @@
+"""Tests for repro.util.timer and repro.util.tables."""
+
+import time
+
+import pytest
+
+from repro.util.tables import (
+    format_count,
+    format_mean_std,
+    format_percent,
+    format_seconds,
+    format_table,
+)
+from repro.util.timer import (
+    BUCKET_CPU,
+    BUCKET_GPU,
+    TABLE1_BUCKETS,
+    Stopwatch,
+    TimeBreakdown,
+)
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        first = sw.elapsed
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed > first >= 0.01
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+
+class TestTimeBreakdown:
+    def test_add_and_total(self):
+        bd = TimeBreakdown()
+        bd.add(BUCKET_CPU, 1.0)
+        bd.add(BUCKET_CPU, 0.5)
+        bd.add(BUCKET_GPU, 2.0)
+        assert bd.get(BUCKET_CPU) == pytest.approx(1.5)
+        assert bd.total == pytest.approx(3.5)
+
+    def test_negative_rejected(self):
+        bd = TimeBreakdown()
+        with pytest.raises(ValueError):
+            bd.add(BUCKET_CPU, -1.0)
+        with pytest.raises(ValueError):
+            bd.add_modeled(BUCKET_GPU, -0.1)
+
+    def test_timing_context(self):
+        bd = TimeBreakdown()
+        with bd.timing("x"):
+            time.sleep(0.005)
+        assert bd.get("x") >= 0.004
+
+    def test_modeled_separate_from_measured(self):
+        bd = TimeBreakdown()
+        bd.add_modeled(BUCKET_GPU, 5.0)
+        assert bd.get(BUCKET_GPU) == 0.0
+        assert bd.get_modeled(BUCKET_GPU) == 5.0
+        assert bd.total == 0.0
+
+    def test_merge(self):
+        a, b = TimeBreakdown(), TimeBreakdown()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add_modeled("y", 3.0)
+        a.merge(b)
+        assert a.get("x") == pytest.approx(3.0)
+        assert a.get_modeled("y") == pytest.approx(3.0)
+
+    def test_as_row_covers_table1_buckets(self):
+        bd = TimeBreakdown()
+        row = bd.as_row()
+        for bucket in TABLE1_BUCKETS:
+            assert bucket in row
+        assert row["total"] == 0.0
+
+
+class TestTables:
+    def test_format_seconds(self):
+        assert format_seconds(1.234) == "1.23"
+        assert format_seconds(23537.8) == "23,537.80"
+        assert format_seconds(float("nan")) == "n/a"
+
+    def test_format_count(self):
+        assert format_count(1562984) == "1,562,984"
+
+    def test_format_percent(self):
+        assert format_percent(0.9717) == "97.17%"
+        assert format_percent(1.0) == "100.00%"
+
+    def test_format_mean_std(self):
+        assert format_mean_std(73.0, 153.0) == "73 ± 153"
+        assert format_mean_std(0.75, 0.28) == "0.75 ± 0.28"
+
+    def test_format_table_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert all(line.startswith(("+", "|")) for line in lines[1:])
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_table_custom_alignment_validated(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x"]], align=["l", "r"])
