@@ -9,6 +9,7 @@ Scale control: set ``REPRO_SCALE=paper`` for the larger workload tier.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -29,11 +30,31 @@ def scale() -> str:
 
 @pytest.fixture(scope="session")
 def report_writer():
-    """Write a rendered report under benchmarks/results/ and echo it."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    """Write a rendered report under benchmarks/results/ and echo it.
 
-    def write(name: str, text: str) -> None:
+    ``write(name, text, data=None)`` always writes ``<name>.txt``; when
+    ``data`` (a list of :func:`table_payload` dicts, or any JSON-serializable
+    mapping) is given it also writes ``<name>.json`` with the stable schema::
+
+        {"name": ..., "scale": ..., "schema_version": 1,
+         "tables": [{"title", "headers", "rows"}, ...], ...extra keys}
+
+    so downstream tooling (CI artifact diffing, plots) never has to parse
+    the rendered text tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    scale = get_scale()
+
+    def write(name: str, text: str, data=None) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            payload = {"name": name, "scale": scale, "schema_version": 1}
+            if isinstance(data, list):
+                payload["tables"] = data
+            else:
+                payload.update(data)
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(payload, indent=2, default=str) + "\n")
         print(f"\n{text}\n")
 
     return write

@@ -18,7 +18,7 @@ import pytest
 from repro.core.pipeline import GpClust
 from repro.device.timingmodels import DeviceSpec
 from repro.pipeline.workloads import make_runtime_workload, workload_params
-from repro.util.tables import format_seconds, format_table
+from repro.util.tables import format_seconds, format_table, table_payload
 from repro.util.timer import BUCKET_C2G, BUCKET_CPU, BUCKET_G2C, BUCKET_GPU
 
 
@@ -55,11 +55,11 @@ def test_ablation_async_transfers(benchmark, mode, scale, report_writer):
                 format_seconds(bt.total),
                 format_seconds(modeled_async),
             ])
-        table = format_table(
-            ["mode", "CPU", "GPU", "transfers", "total (bucket sum)",
-             "perfect-overlap bound"],
-            table_rows,
-            title=f"Ablation — sync vs. double-buffered transfers (scale={scale})")
+        headers = ["mode", "CPU", "GPU", "transfers", "total (bucket sum)",
+                   "perfect-overlap bound"]
+        title = (f"Ablation — sync vs. double-buffered transfers "
+                 f"(scale={scale})")
+        table = format_table(headers, table_rows, title=title)
 
         # Modeled K20/PCIe schedule of the first shingling pass, rendered as
         # a Gantt, sequential vs. overlapped.
@@ -77,7 +77,8 @@ def test_ablation_async_transfers(benchmark, mode, scale, report_writer):
                  + timeline.render()
                  + "\n\nModeled with transfer/compute overlap:\n"
                  + overlapped.render())
-        report_writer("ablation_async", table + gantt)
+        report_writer("ablation_async", table + gantt,
+                      data=[table_payload(title, headers, table_rows)])
 
         assert overlapped.makespan <= timeline.makespan
         # Correctness must be unaffected by the overlap.

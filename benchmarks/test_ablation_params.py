@@ -17,7 +17,12 @@ from repro.core.pipeline import GpClust
 from repro.eval.confusion import quality_scores
 from repro.eval.partition import Partition
 from repro.pipeline.workloads import make_quality_workload
-from repro.util.tables import format_percent, format_seconds, format_table
+from repro.util.tables import (
+    format_percent,
+    format_seconds,
+    format_table,
+    table_payload,
+)
 
 
 @pytest.fixture(scope="module")
@@ -46,10 +51,11 @@ def test_ablation_c_parameter(benchmark, quality_graph, report_writer, scale):
                      format_percent(qs.sensitivity),
                      str(result.n_clusters(min_size=20)),
                      format_seconds(result.timings.total)])
-    table = format_table(
-        ["params", "PPV", "SE", "#clusters(>=20)", "seconds"], rows,
-        title=f"Ablation — trial count c (scale={scale})")
-    report_writer("ablation_c_parameter", table)
+    headers = ["params", "PPV", "SE", "#clusters(>=20)", "seconds"]
+    title = f"Ablation — trial count c (scale={scale})"
+    table = format_table(headers, rows, title=title)
+    report_writer("ablation_c_parameter", table,
+                  data=[table_payload(title, headers, rows)])
     # More trials must not reduce sensitivity (monotone up to noise).
     assert sensitivities[-1] >= sensitivities[0]
 
@@ -74,10 +80,11 @@ def test_ablation_s_parameter(benchmark, quality_graph, report_writer, scale):
                      format_percent(qs.ppv),
                      format_percent(qs.sensitivity),
                      str(part.n_clustered(min_size=20))])
-    table = format_table(
-        ["params", "PPV", "SE", "#seqs clustered"], rows,
-        title=f"Ablation — shingle size s (scale={scale})")
-    report_writer("ablation_s_parameter", table)
+    headers = ["params", "PPV", "SE", "#seqs clustered"]
+    title = f"Ablation — shingle size s (scale={scale})"
+    table = format_table(headers, rows, title=title)
+    report_writer("ablation_s_parameter", table,
+                  data=[table_payload(title, headers, rows)])
     # s=1 ("one shingle based approach can be too aggressive") recruits the
     # most; s=4 the least.
     assert recruited[0] >= recruited[-1]
@@ -99,11 +106,12 @@ def test_ablation_kernel_choice(benchmark, quality_graph, report_writer, scale):
             res = GpClust(p).run(pg.graph)
         results[kernel] = res
         timings[kernel] = res.timings.get("gpu")
-    table = format_table(
-        ["kernel", "GPU seconds"],
-        [[k, format_seconds(v)] for k, v in timings.items()],
-        title=f"Ablation — selection vs. segmented-sort kernel (scale={scale})")
-    report_writer("ablation_kernel", table)
+    headers = ["kernel", "GPU seconds"]
+    rows = [[k, format_seconds(v)] for k, v in timings.items()]
+    title = f"Ablation — selection vs. segmented-sort kernel (scale={scale})"
+    table = format_table(headers, rows, title=title)
+    report_writer("ablation_kernel", table,
+                  data=[table_payload(title, headers, rows)])
     assert np.array_equal(results["select"].labels, results["sort"].labels)
 
 
@@ -122,15 +130,16 @@ def test_ablation_report_modes(benchmark, quality_graph, report_writer, scale):
                        if over_clusters else 0)
     total_memberships = sum(c.size for c in over_clusters)
 
-    table = format_table(
-        ["mode", "#clusters(>=20)", "#memberships", "#distinct vertices"],
-        [["partition", str(len(part_clusters)),
-          str(sum(c.size for c in part_clusters)),
-          str(sum(c.size for c in part_clusters))],
-         ["overlapping", str(len(over_clusters)),
-          str(total_memberships), str(n_over_vertices)]],
-        title=f"Ablation — Phase III reporting mode (scale={scale})")
-    report_writer("ablation_report_mode", table)
+    headers = ["mode", "#clusters(>=20)", "#memberships", "#distinct vertices"]
+    rows = [["partition", str(len(part_clusters)),
+             str(sum(c.size for c in part_clusters)),
+             str(sum(c.size for c in part_clusters))],
+            ["overlapping", str(len(over_clusters)),
+             str(total_memberships), str(n_over_vertices)]]
+    title = f"Ablation — Phase III reporting mode (scale={scale})"
+    table = format_table(headers, rows, title=title)
+    report_writer("ablation_report_mode", table,
+                  data=[table_payload(title, headers, rows)])
 
     # Overlapping mode may assign a vertex to several clusters.
     assert total_memberships >= n_over_vertices
@@ -163,10 +172,11 @@ def test_ablation_grouping_strategy(benchmark, quality_graph, report_writer,
                      format_percent(qs.sensitivity),
                      str(res.n_clusters(min_size=20)),
                      format_seconds(res.timings.total)])
-    table = format_table(
-        ["grouping", "PPV", "SE", "#clusters(>=20)", "seconds"], rows,
-        title=f"Ablation — grouping strategy (scale={scale})")
-    report_writer("ablation_grouping", table)
+    headers = ["grouping", "PPV", "SE", "#clusters(>=20)", "seconds"]
+    title = f"Ablation — grouping strategy (scale={scale})"
+    table = format_table(headers, rows, title=title)
+    report_writer("ablation_grouping", table,
+                  data=[table_payload(title, headers, rows)])
     # One-shingle skips pass 2 entirely: it must be clearly faster.
     assert (results["one_shingle"].timings.total
             < 0.8 * results["two_level"].timings.total)
@@ -198,10 +208,11 @@ def test_ablation_kcore_prefilter(benchmark, quality_graph, report_writer,
                      format_percent(qs.ppv),
                      format_percent(qs.sensitivity),
                      format_seconds(res.timings.total)])
-    table = format_table(
-        ["prefilter", "#edges kept", "PPV", "SE", "seconds"], rows,
-        title=f"Ablation — k-core prefilter (scale={scale})")
-    report_writer("ablation_kcore", table)
+    headers = ["prefilter", "#edges kept", "PPV", "SE", "seconds"]
+    title = f"Ablation — k-core prefilter (scale={scale})"
+    table = format_table(headers, rows, title=title)
+    report_writer("ablation_kcore", table,
+                  data=[table_payload(title, headers, rows)])
     # Filtering must not create false merges (PPV non-decreasing-ish).
     qs_base = quality_scores(Partition(results[0].labels), bench, min_size=20)
     qs_k8 = quality_scores(Partition(results[8].labels), bench, min_size=20)
@@ -218,9 +229,10 @@ def test_ablation_union_backend(benchmark, quality_graph, report_writer, scale):
         rounds=1, iterations=1)
     scalar = GpClust(params.with_overrides(union_backend="unionfind")).run(pg.graph)
     assert np.array_equal(vec.labels, scalar.labels)
-    report_writer(
-        "ablation_union_backend",
-        format_table(["backend", "total seconds"],
-                     [["vectorized", format_seconds(vec.timings.total)],
-                      ["unionfind", format_seconds(scalar.timings.total)]],
-                     title=f"Ablation — Phase III engine (scale={scale})"))
+    headers = ["backend", "total seconds"]
+    rows = [["vectorized", format_seconds(vec.timings.total)],
+            ["unionfind", format_seconds(scalar.timings.total)]]
+    title = f"Ablation — Phase III engine (scale={scale})"
+    report_writer("ablation_union_backend",
+                  format_table(headers, rows, title=title),
+                  data=[table_payload(title, headers, rows)])

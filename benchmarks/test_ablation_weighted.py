@@ -15,7 +15,7 @@ from repro.core.params import ShinglingParams
 from repro.core.pipeline import GpClust
 from repro.core.weighted import WeightedGpClust
 from repro.graph.weighted import WeightedCSRGraph
-from repro.util.tables import format_table
+from repro.util.tables import format_table, table_payload
 
 
 def _bridged_instance(seed: int = 0, n_pairs: int = 12, core: int = 16,
@@ -64,15 +64,16 @@ def test_ablation_weighted_sampling(benchmark, report_writer, scale):
     fused_w = _fused_fraction(weighted.labels, pairs)
     fused_u = _fused_fraction(unweighted.labels, pairs)
 
-    table = format_table(
-        ["variant", "fused core pairs", "#clusters(>=10)"],
-        [["unweighted shingling", f"{fused_u:.0%}",
-          str(unweighted.n_clusters(min_size=10))],
-         ["weighted shingling", f"{fused_w:.0%}",
-          str(weighted.n_clusters(min_size=10))]],
-        title=f"Ablation — weighted vs. unweighted sampling on weak-bridge "
-              f"instance (scale={scale})")
-    report_writer("ablation_weighted", table)
+    headers = ["variant", "fused core pairs", "#clusters(>=10)"]
+    rows = [["unweighted shingling", f"{fused_u:.0%}",
+             str(unweighted.n_clusters(min_size=10))],
+            ["weighted shingling", f"{fused_w:.0%}",
+             str(weighted.n_clusters(min_size=10))]]
+    title = (f"Ablation — weighted vs. unweighted sampling on weak-bridge "
+             f"instance (scale={scale})")
+    table = format_table(headers, rows, title=title)
+    report_writer("ablation_weighted", table,
+                  data=[table_payload(title, headers, rows)])
 
     # Weight-proportional sampling must resist the weak bridges better.
     assert fused_w < fused_u

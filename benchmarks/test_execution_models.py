@@ -16,7 +16,12 @@ import numpy as np
 from repro.core.pipeline import GpClust, SerialPClust
 from repro.mapreduce.shingle_mr import MapReducePClust
 from repro.pipeline.workloads import make_runtime_workload, workload_params
-from repro.util.tables import format_count, format_seconds, format_table
+from repro.util.tables import (
+    format_count,
+    format_seconds,
+    format_table,
+    table_payload,
+)
 
 
 def test_execution_models(benchmark, scale, report_writer, tmp_path):
@@ -49,17 +54,17 @@ def test_execution_models(benchmark, scale, report_writer, tmp_path):
          format_count(stats.bytes_spilled),
          f"{stats.shuffle_seconds + stats.map_seconds:.2f}s"],
     ]
-    table = format_table(
-        ["execution model", "wall seconds", "bytes spilled to disk",
-         "map+shuffle (disk path)"],
-        rows,
-        title=f"Execution models on the 20K analogue (c1=40, scale={scale})")
+    headers = ["execution model", "wall seconds", "bytes spilled to disk",
+               "map+shuffle (disk path)"]
+    title = f"Execution models on the 20K analogue (c1=40, scale={scale})"
+    table = format_table(headers, rows, title=title)
     report_writer(
         "execution_models",
         table + "\n\nAll three produce bit-identical clusterings.  Paper "
         "context (via [18]): the shared-memory implementation was "
         "'significantly faster than the Hadoop implementation due to the "
-        "expensive disk I/O operations'.")
+        "expensive disk I/O operations'.",
+        data=[table_payload(title, headers, rows)])
 
     assert mr_wall > serial_wall * 0.8, "MR should not beat even serial"
     assert mr_wall > 3 * device_wall, "disk path must dominate the device"

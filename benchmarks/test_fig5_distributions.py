@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.eval.distribution import size_distribution
-from repro.util.tables import format_count, format_table
+from repro.util.tables import format_count, format_table, table_payload
 
 
 def _ascii_bars(values, width=40):
@@ -41,15 +41,16 @@ def test_fig5_distributions(benchmark, quality_data, report_writer, scale):
             dist_gp.sequence_counts, _ascii_bars(dist_gp.sequence_counts, 20),
             dist_gos.sequence_counts, _ascii_bars(dist_gos.sequence_counts, 20))
     ]
-    table_a = format_table(
-        ["Group size", "gpClust", "", "GOS", ""], rows_a,
-        title=f"Figure 5(a) analogue — groups per size bin (scale={scale})",
-        align=["l", "r", "l", "r", "l"])
-    table_b = format_table(
-        ["Group size", "gpClust", "", "GOS", ""], rows_b,
-        title="Figure 5(b) analogue — sequences per size bin",
-        align=["l", "r", "l", "r", "l"])
-    report_writer("fig5_distributions", table_a + "\n\n" + table_b)
+    headers = ["Group size", "gpClust", "", "GOS", ""]
+    title_a = f"Figure 5(a) analogue — groups per size bin (scale={scale})"
+    title_b = "Figure 5(b) analogue — sequences per size bin"
+    table_a = format_table(headers, rows_a, title=title_a,
+                           align=["l", "r", "l", "r", "l"])
+    table_b = format_table(headers, rows_b, title=title_b,
+                           align=["l", "r", "l", "r", "l"])
+    report_writer("fig5_distributions", table_a + "\n\n" + table_b,
+                  data=[table_payload(title_a, headers, rows_a),
+                        table_payload(title_b, headers, rows_b)])
 
     # Shape: both distributions decay from the small bins, and they are
     # "roughly the same": rank correlation of the bin series is high.

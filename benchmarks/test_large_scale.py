@@ -12,7 +12,12 @@ from __future__ import annotations
 from repro.core.pipeline import GpClust
 from repro.device.timingmodels import DeviceSpec
 from repro.pipeline.workloads import WORKLOADS, make_large_workload
-from repro.util.tables import format_count, format_seconds, format_table
+from repro.util.tables import (
+    format_count,
+    format_seconds,
+    format_table,
+    table_payload,
+)
 from repro.util.timer import BUCKET_C2G, BUCKET_CPU, BUCKET_G2C, BUCKET_GPU
 
 
@@ -33,25 +38,25 @@ def test_large_scale_run(benchmark, scale, report_writer):
     # Extrapolation to the paper's 640M-edge graph at this throughput.
     projected_minutes = 640e6 / edges_per_second / 60
 
-    table = format_table(
-        ["#vertices", "#edges", "CPU", "GPU", "c->g", "g->c", "Total",
-         "Edges/s", "640M-edge projection"],
-        [[format_count(graph.n_vertices),
-          format_count(graph.n_edges),
-          format_seconds(t.get(BUCKET_CPU)),
-          format_seconds(t.get(BUCKET_GPU)),
-          format_seconds(t.get(BUCKET_C2G)),
-          format_seconds(t.get(BUCKET_G2C)),
-          format_seconds(total),
-          format_count(int(edges_per_second)),
-          f"{projected_minutes:,.0f} min"]],
-        title=f"Large-scale demo analogue (scale={scale}, "
-              f"params c1={params.c1}, c2={params.c2})",
-    )
+    headers = ["#vertices", "#edges", "CPU", "GPU", "c->g", "g->c", "Total",
+               "Edges/s", "640M-edge projection"]
+    rows = [[format_count(graph.n_vertices),
+             format_count(graph.n_edges),
+             format_seconds(t.get(BUCKET_CPU)),
+             format_seconds(t.get(BUCKET_GPU)),
+             format_seconds(t.get(BUCKET_C2G)),
+             format_seconds(t.get(BUCKET_G2C)),
+             format_seconds(total),
+             format_count(int(edges_per_second)),
+             f"{projected_minutes:,.0f} min"]]
+    title = (f"Large-scale demo analogue (scale={scale}, "
+             f"params c1={params.c1}, c2={params.c2})")
+    table = format_table(headers, rows, title=title)
     report_writer(
         "large_scale",
         table + "\n\nPaper: 11M vertices / 640M edges clustered in ~94 min "
-        "on a K20 (c1=200, c2=100).")
+        "on a K20 (c1=200, c2=100).",
+        data=[table_payload(title, headers, rows)])
 
     assert result.n_clusters(min_size=2) > 0
     assert total < 1800, "large-scale analogue must finish in under 30 min"

@@ -18,7 +18,7 @@ from repro.core.minhash import (
 )
 from repro.core.params import ShinglingParams
 from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
-from repro.util.tables import format_table
+from repro.util.tables import format_table, table_payload
 
 
 def test_minhash_estimator_accuracy(benchmark, scale, report_writer):
@@ -50,12 +50,12 @@ def test_minhash_estimator_accuracy(benchmark, scale, report_writer):
                      f"{errors.mean():.4f}",
                      f"{np.quantile(errors, 0.95):.4f}",
                      f"{estimation_error_bound(c):.4f}"])
-    table = format_table(
-        ["c (trials)", "mean |error|", "p95 |error|",
-         "95% bound (worst case)"],
-        rows,
-        title=f"Min-wise Jaccard estimation accuracy (scale={scale})")
-    report_writer("minhash_accuracy", table)
+    headers = ["c (trials)", "mean |error|", "p95 |error|",
+               "95% bound (worst case)"]
+    title = f"Min-wise Jaccard estimation accuracy (scale={scale})"
+    table = format_table(headers, rows, title=title)
+    report_writer("minhash_accuracy", table,
+                  data=[table_payload(title, headers, rows)])
 
     # Error shrinks with c and stays under the analytic bound.
     assert errors_by_c[400].mean() < errors_by_c[25].mean()

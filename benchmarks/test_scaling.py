@@ -18,7 +18,12 @@ from repro.core.decompose import cluster_by_components
 from repro.core.params import ShinglingParams
 from repro.core.pipeline import GpClust
 from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
-from repro.util.tables import format_count, format_seconds, format_table
+from repro.util.tables import (
+    format_count,
+    format_seconds,
+    format_table,
+    table_payload,
+)
 
 
 def test_scaling_with_graph_size(benchmark, scale, report_writer):
@@ -42,10 +47,11 @@ def test_scaling_with_graph_size(benchmark, scale, report_writer):
                      format_count(graph.n_edges),
                      format_seconds(total),
                      format_count(int(graph.nnz / total))])
-    table = format_table(
-        ["#vertices", "#edges", "seconds", "arcs/s"], rows,
-        title=f"Scaling — runtime vs. graph size (c1=40, scale={scale})")
-    report_writer("scaling_graph_size", table)
+    headers = ["#vertices", "#edges", "seconds", "arcs/s"]
+    title = f"Scaling — runtime vs. graph size (c1=40, scale={scale})"
+    table = format_table(headers, rows, title=title)
+    report_writer("scaling_graph_size", table,
+                  data=[table_payload(title, headers, rows)])
 
     # Near-linear: time ratio grows no faster than ~2x the size ratio.
     size_ratio = sizes[-1] / sizes[0]
@@ -78,10 +84,11 @@ def test_scaling_component_decomposition(benchmark, scale, report_writer):
         results[workers] = res
         rows.append([f"decomposed, {workers} worker(s)",
                      format_seconds(time.perf_counter() - t0)])
-    table = format_table(
-        ["configuration", "wall seconds"], rows,
-        title=f"Scaling — pClust component decomposition (scale={scale})")
-    report_writer("scaling_decomposition", table)
+    headers = ["configuration", "wall seconds"]
+    title = f"Scaling — pClust component decomposition (scale={scale})"
+    table = format_table(headers, rows, title=title)
+    report_writer("scaling_decomposition", table,
+                  data=[table_payload(title, headers, rows)])
 
     for res in results.values():
         assert np.array_equal(res.labels, single.labels), (

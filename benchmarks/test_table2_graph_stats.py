@@ -8,27 +8,32 @@ from __future__ import annotations
 
 from repro.graph.stats import compute_graph_stats
 from repro.pipeline.workloads import make_runtime_workload
-from repro.util.tables import format_count, format_mean_std, format_table
+from repro.util.tables import (
+    format_count,
+    format_mean_std,
+    format_table,
+    table_payload,
+)
 
 
 def test_table2_graph_stats(benchmark, scale, report_writer):
     pg = make_runtime_workload("2m", scale)
     stats = benchmark(compute_graph_stats, pg.graph)
 
-    table = format_table(
-        ["# Vertices", "# Edges", "Avg. degree", "Largest CC size",
-         "# CCs (>1)"],
-        [[format_count(stats.n_vertices),
-          format_count(stats.n_edges),
-          format_mean_std(stats.avg_degree, stats.std_degree),
-          format_count(stats.largest_cc_size),
-          format_count(stats.n_components)]],
-        title=f"Table II analogue — 2M-analogue graph statistics (scale={scale})",
-    )
+    headers = ["# Vertices", "# Edges", "Avg. degree", "Largest CC size",
+               "# CCs (>1)"]
+    rows = [[format_count(stats.n_vertices),
+             format_count(stats.n_edges),
+             format_mean_std(stats.avg_degree, stats.std_degree),
+             format_count(stats.largest_cc_size),
+             format_count(stats.n_components)]]
+    title = f"Table II analogue — 2M-analogue graph statistics (scale={scale})"
+    table = format_table(headers, rows, title=title)
     report_writer(
         "table2_graph_stats",
         table + "\n\nPaper (Table II): 1,562,984 vertices | 56,919,738 edges "
-        "| 73 ± 153 | largest CC 10,707.")
+        "| 73 ± 153 | largest CC 10,707.",
+        data=[table_payload(title, headers, rows)])
 
     # Shape: skewed degree distribution (std comparable to mean), and the
     # largest component far below the vertex count (the graph decomposes,

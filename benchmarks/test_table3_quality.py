@@ -12,7 +12,7 @@ sensitivities low with gpClust above GOS.
 from __future__ import annotations
 
 from repro.eval.confusion import quality_scores
-from repro.util.tables import format_table
+from repro.util.tables import format_table, table_payload
 
 
 def test_table3_quality(benchmark, quality_data, report_writer, scale):
@@ -21,16 +21,16 @@ def test_table3_quality(benchmark, quality_data, report_writer, scale):
     qs_gp = benchmark(quality_scores, gp, bench, 20)
     qs_gos = quality_scores(gos, bench, min_size=20)
 
-    table = format_table(
-        ["Approach", "PPV", "NPV", "SP", "SE"],
-        [qs_gp.table_row("gpClust vs. Benchmark"),
-         qs_gos.table_row("GOS vs. Benchmark")],
-        title=f"Table III analogue — quality vs. benchmark (scale={scale})",
-    )
+    headers = ["Approach", "PPV", "NPV", "SP", "SE"]
+    rows = [qs_gp.table_row("gpClust vs. Benchmark"),
+            qs_gos.table_row("GOS vs. Benchmark")]
+    title = f"Table III analogue — quality vs. benchmark (scale={scale})"
+    table = format_table(headers, rows, title=title)
     report_writer(
         "table3_quality",
         table + "\n\nPaper (Table III): gpClust 97.17 / 92.43 / 99.88 / 17.85;"
-        " GOS 100.00 / 90.62 / 100.00 / 13.92 (percent).")
+        " GOS 100.00 / 90.62 / 100.00 / 13.92 (percent).",
+        data=[table_payload(title, headers, rows)])
 
     # Shape assertions (the paper's qualitative claims).
     assert qs_gos.ppv > 0.999

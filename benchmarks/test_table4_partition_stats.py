@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.eval.density import density_summary
 from repro.eval.partition import partition_stats
-from repro.util.tables import format_mean_std, format_table
+from repro.util.tables import format_mean_std, format_table, table_payload
 
 
 def test_table4_partition_stats(benchmark, quality_data, report_writer, scale):
@@ -31,18 +31,17 @@ def test_table4_partition_stats(benchmark, quality_data, report_writer, scale):
     rows = []
     for st, dens in ((st_bench, d_bench), (st_gos, d_gos), (st_gp, d_gp)):
         rows.append(st.table_row() + [format_mean_std(*dens)])
-    table = format_table(
-        ["Partition", "# Groups", "# Seqs", "Largest", "Avg. size",
-         "Density"],
-        rows,
-        title=f"Table IV analogue — partition statistics (scale={scale})",
-    )
+    headers = ["Partition", "# Groups", "# Seqs", "Largest", "Avg. size",
+               "Density"]
+    title = f"Table IV analogue — partition statistics (scale={scale})"
+    table = format_table(headers, rows, title=title)
     report_writer(
         "table4_partition_stats",
         table + "\n\nPaper (Table IV + in-text): Benchmark 813 / 2,004,241 / "
         "56,266 / 2,465±4,372 / 0.09±0.12; GOS 6,152 / 1,236,712 / 20,027 / "
         "201±650 / 0.40±0.27; gpClust 6,646 / 1,414,952 / 19,066 / 213±721 / "
-        "0.75±0.28.")
+        "0.75±0.28.",
+        data=[table_payload(title, headers, rows)])
 
     # Shape assertions.
     assert st_gp.n_groups > st_gos.n_groups           # gpClust reports more

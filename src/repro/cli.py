@@ -51,7 +51,8 @@ from repro.util.tables import format_percent, format_seconds, format_table
 
 def _params_from_args(args: argparse.Namespace) -> ShinglingParams:
     return ShinglingParams(s1=args.s1, c1=args.c1, s2=args.s2, c2=args.c2,
-                           seed=args.seed, kernel=args.kernel)
+                           seed=args.seed, kernel=args.kernel,
+                           exec_mode=args.exec_mode, streams=args.streams)
 
 
 def _add_param_args(parser: argparse.ArgumentParser) -> None:
@@ -62,6 +63,14 @@ def _add_param_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--kernel", choices=["select", "sort"],
                         default="select", help="device top-s kernel")
+    parser.add_argument("--exec-mode", dest="exec_mode",
+                        choices=["sync", "prefetch", "multistream"],
+                        default="sync",
+                        help="device-path schedule: synchronous, double-"
+                             "buffered uploads, or concurrent trial-chunk "
+                             "streams (all bit-identical)")
+    parser.add_argument("--streams", type=int, default=2,
+                        help="worker count for --exec-mode multistream")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:

@@ -15,12 +15,17 @@ always contained in the union of per-chunk top-``s`` sets).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.core.passresult import PassResult
 from repro.device.kernels import SENTINEL, unpack_pairs
 from repro.graph.bipartite import BipartiteCSR
 from repro.util.mixhash import fold_fingerprint_array
+
+_U32_MAX = np.uint64(0xFFFFFFFF)
+_U32_BITS = np.uint64(32)
 
 
 def merge_split_pairs(chunk_pairs: list[np.ndarray], s: int) -> np.ndarray:
@@ -111,31 +116,159 @@ def aggregate_pass(fps_all: np.ndarray, top_all: np.ndarray, lengths: np.ndarray
             n_input_segments=n_seg,
         )
 
-    fp_flat = fps_all[:, valid_rows].ravel()
-    _, ids = unpack_pairs(top_all[:, valid_rows, :])
-    members_flat = ids.reshape(-1, s).astype(np.int64)
-    gen_flat = np.tile(segment_ids[valid_rows], c)
+    if valid_rows.size == n_rows:
+        # Fast path for pre-compacted input (the device driver drops short
+        # segments before upload): the flattened views are free, no gather.
+        fp_flat = fps_all.reshape(-1)
+        top_rows = top_all.reshape(c * n_rows, s)
+        gen_src = segment_ids
+    else:
+        fp_flat = fps_all[:, valid_rows].ravel()
+        top_rows = top_all[:, valid_rows, :].reshape(-1, s)
+        gen_src = segment_ids[valid_rows]
 
     uniq, first_idx, inverse = np.unique(fp_flat, return_index=True, return_inverse=True)
-    members = members_flat[first_idx]
+    # Only the first occurrence of each distinct fingerprint contributes
+    # members: gather those rows first, then unpack — O(k*s) instead of a
+    # full O(c*n*s) unpack + int64 conversion.
+    members = (top_rows[first_idx] & _U32_MAX).astype(np.int64)
 
-    # Gather sorted, deduplicated generator lists per distinct shingle.
-    order = np.lexsort((gen_flat, inverse))
-    inv_sorted = inverse[order]
-    gen_sorted = gen_flat[order]
-    keep = np.ones(inv_sorted.size, dtype=bool)
-    keep[1:] = (inv_sorted[1:] != inv_sorted[:-1]) | (gen_sorted[1:] != gen_sorted[:-1])
-    inv_dedup = inv_sorted[keep]
-    gen_dedup = gen_sorted[keep]
-    counts = np.bincount(inv_dedup, minlength=uniq.size)
-    indptr = np.zeros(uniq.size + 1, dtype=np.int64)
-    np.cumsum(counts, out=indptr[1:])
-    gen_graph = BipartiteCSR(indptr, gen_dedup, n_right=n_seg, validate=False)
+    gen_flat = np.tile(gen_src, c)
+    gen_graph = _gen_graph_from_pairs(inverse, gen_flat, uniq.size, n_seg)
 
     result = PassResult(fingerprints=uniq, members=members,
                         gen_graph=gen_graph, n_input_segments=n_seg)
     _check_no_sentinel_members(result, s)
     return result
+
+
+def _gen_graph_from_pairs(groups: np.ndarray, gens: np.ndarray,
+                          n_groups: int, n_right: int) -> BipartiteCSR:
+    """CSR of sorted, deduplicated generator lists per shingle group.
+
+    Equivalent to ``np.lexsort((gens, groups))`` + adjacent dedup, but packs
+    both keys into one uint64 so a single in-place sort replaces the two
+    stable argsorts and the fancy gathers.  Valid whenever both key ranges
+    fit in 32 bits (guaranteed here: occurrence counts and segment ids are
+    far below 2**32); duplicate (group, gen) pairs are interchangeable, so
+    sort stability is irrelevant to the deduplicated output.
+    """
+    if n_groups - 1 > int(_U32_MAX) or n_right - 1 > int(_U32_MAX):
+        raise ValueError("group/generator ids exceed 32-bit packing range")
+    keys = _pack_u32_keys(groups, gens)
+    keys.sort()
+    return _gen_graph_from_sorted_keys(keys, n_groups, n_right)
+
+
+def _pack_u32_keys(high: np.ndarray, low: np.ndarray) -> np.ndarray:
+    """``high << 32 | low`` as uint64, one allocation.
+
+    Both inputs are non-negative int64, so a bit-level ``view`` reinterprets
+    them as uint64 for free (no ``astype`` copies).
+    """
+    high = np.ascontiguousarray(high, dtype=np.int64)
+    low = np.ascontiguousarray(low, dtype=np.int64)
+    keys = np.empty(high.size, dtype=np.uint64)
+    np.left_shift(high.view(np.uint64), _U32_BITS, out=keys)
+    np.bitwise_or(keys, low.view(np.uint64), out=keys)
+    return keys
+
+
+def _gen_graph_from_sorted_keys(keys: np.ndarray, n_groups: int,
+                                n_right: int) -> BipartiteCSR:
+    """Build the generator CSR from sorted ``group << 32 | gen`` keys."""
+    if keys.size:
+        keep = np.empty(keys.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+        kept = keys[keep]
+    else:
+        kept = keys
+    inv_dedup = (kept >> _U32_BITS).astype(np.int64)
+    gen_dedup = (kept & _U32_MAX).astype(np.int64)
+    counts = np.bincount(inv_dedup, minlength=n_groups)
+    indptr = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return BipartiteCSR(indptr, gen_dedup, n_right=n_right, validate=False)
+
+
+class StreamingAggregator:
+    """Incremental aggregation of per-trial-chunk partial results.
+
+    The multi-stream engine aggregates each trial chunk's ``(t, n, s)``
+    shingle block into a partial :class:`PassResult` as soon as the chunk's
+    kernels finish, then discards the block — so the full ``(c, n, s)``
+    occurrence arrays are never materialized and peak host memory drops from
+    O(c*n*s) to O(chunk*n*s).
+
+    Merging is deterministic and bit-identical to whole-array
+    :func:`aggregate_pass`: partials are ordered by their trial offset
+    (reconstructing the trial-major flattened order), so the first partial
+    containing a fingerprint holds its globally-first occurrence — exactly
+    the row ``np.unique(..., return_index=True)`` would have picked — and
+    generator lists merge as sorted unions.  ``add`` is thread-safe.
+    """
+
+    def __init__(self, s: int, n_segments: int) -> None:
+        self.s = int(s)
+        self.n_segments = int(n_segments)
+        self._parts: list[tuple[int, PassResult]] = []
+        self._lock = threading.Lock()
+
+    def add(self, trial_lo: int, partial: PassResult) -> None:
+        """Record the partial result for the trial chunk starting at ``trial_lo``."""
+        with self._lock:
+            self._parts.append((int(trial_lo), partial))
+
+    @property
+    def n_partials(self) -> int:
+        with self._lock:
+            return len(self._parts)
+
+    def result(self) -> PassResult:
+        """Merge all partials into the whole-pass result."""
+        with self._lock:
+            parts = [p for _, p in sorted(self._parts, key=lambda kv: kv[0])]
+        if not parts:
+            raise ValueError("no partial results to merge")
+        if len(parts) == 1:
+            return parts[0]
+
+        fp_cat = np.concatenate([p.fingerprints for p in parts])
+        if fp_cat.size == 0:
+            return PassResult(
+                fingerprints=np.empty(0, dtype=np.uint64),
+                members=np.empty((0, self.s), dtype=np.int64),
+                gen_graph=BipartiteCSR.from_lists([], n_right=self.n_segments),
+                n_input_segments=self.n_segments,
+            )
+        members_cat = np.concatenate([p.members for p in parts], axis=0)
+        uniq, first_idx, inverse = np.unique(
+            fp_cat, return_index=True, return_inverse=True)
+        members = members_cat[first_idx]
+
+        # Union the per-partial generator lists: re-key every CSR entry by
+        # its global group id, then one sort + dedup over all entries.
+        keys_parts = []
+        offset = 0
+        for p in parts:
+            k = p.fingerprints.size
+            graph = p.gen_graph
+            if graph.nnz:
+                entry_groups = np.repeat(inverse[offset:offset + k],
+                                         np.diff(graph.indptr))
+                keys_parts.append(_pack_u32_keys(entry_groups, graph.indices))
+            offset += k
+        if keys_parts:
+            keys = np.concatenate(keys_parts)
+            keys.sort()
+        else:
+            keys = np.empty(0, dtype=np.uint64)
+        gen_graph = _gen_graph_from_sorted_keys(keys, uniq.size, self.n_segments)
+
+        return PassResult(fingerprints=uniq, members=members,
+                          gen_graph=gen_graph,
+                          n_input_segments=self.n_segments)
 
 
 def _check_no_sentinel_members(result: PassResult, s: int) -> None:

@@ -6,9 +6,29 @@ batches, uploads them, launches the shingle-extraction kernels, and
 aggregates the downloaded shingles — including the merge of adjacency lists
 that were split across batches.
 
+The schedule is pluggable via :class:`repro.core.execplan.ExecutionPlan`:
+
+* ``sync`` — the paper-faithful synchronous pipeline;
+* ``prefetch`` — double-buffered uploads (next batch's transfer overlaps the
+  current batch's kernels on a copy thread);
+* ``multistream`` — trial-chunk streams: each pass's ``c`` trials split into
+  independent chunks executed concurrently on a worker pool.  NumPy kernels
+  release the GIL, so streams overlap with each other and with CPU-side
+  aggregation.
+
+In the dominant single-batch regime every mode aggregates **streamingly**:
+each trial chunk's ``(t, n, s)`` block is folded into a partial result and
+dropped as soon as its kernels finish (see
+:class:`repro.core.aggregate.StreamingAggregator`), so peak host memory is
+O(chunk * n * s) instead of O(c * n * s).  When the graph needs several
+batches, per-batch scatter requires the full accumulators (bounded by the
+same device-capacity math as before); the streaming path resumes once a
+batch covers the input.
+
 Every step is charged to the right Table-I bucket: batch planning and
 aggregation to ``cpu``, kernel work to ``gpu`` (inside the device facade),
-transfers to ``data_c2g``/``data_g2c``.
+transfers to ``data_c2g``/``data_g2c``.  All modes produce results
+bit-identical to :func:`repro.core.serial.serial_shingle_pass`.
 """
 
 from __future__ import annotations
@@ -17,12 +37,15 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro.core.aggregate import aggregate_pass, fingerprints_from_pairs
+from repro.core.aggregate import (StreamingAggregator, aggregate_pass,
+                                  fingerprints_from_pairs)
+from repro.core.execplan import EXEC_PREFETCH, EXEC_SYNC, ExecutionPlan
 from repro.core.params import PassConfig
 from repro.core.passresult import PassResult
 from repro.device.batching import max_batch_elements, plan_batches
 from repro.device.device import SimulatedDevice
-from repro.device.kernels import SENTINEL
+from repro.device.kernels import SENTINEL, segment_element_ids
+from repro.device.memory import ScratchPool
 from repro.util.timer import BUCKET_CPU
 
 
@@ -36,6 +59,7 @@ def device_shingle_pass(
     trial_chunk: int = 16,
     max_elements: int | None = None,
     prefetch: bool = False,
+    plan: ExecutionPlan | None = None,
 ) -> PassResult:
     """Run one full shingling pass through the simulated device.
 
@@ -51,32 +75,33 @@ def device_shingle_pass(
         Kernel selection and trials-per-round (see :class:`SimulatedDevice`).
     max_elements:
         Batch element budget override; by default derived from the device's
-        memory capacity.
+        memory capacity and divided by the plan's resident factor (double
+        buffering keeps two batches resident; ``k`` streams keep ``k``
+        kernel working sets resident).
     prefetch:
-        Asynchronous double-buffered transfers — the paper's stated future
-        work ("better performance could be achieved through asynchronous
-        operations provided in CUDA C/C++").  The next batch's upload runs
-        on a copy thread while the current batch computes; the element
-        budget is halved because double buffering keeps two batches resident.
+        Back-compat alias for ``plan=ExecutionPlan("prefetch")``; ignored
+        when ``plan`` is given.
+    plan:
+        The execution schedule (defaults to synchronous).
 
     Returns
     -------
     PassResult
         Identical to :func:`repro.core.serial.serial_shingle_pass` on the
-        same inputs and configuration.
+        same inputs and configuration, in every mode.
     """
+    if plan is None:
+        plan = ExecutionPlan(EXEC_PREFETCH if prefetch else EXEC_SYNC)
     indptr = np.asarray(indptr, dtype=np.int64)
     elements = np.asarray(elements, dtype=np.int64)
     breakdown = device.breakdown
     s, c = config.s, config.c
-    a, b, salts = config.a_array, config.b_array, config.salts
 
     with breakdown.timing(BUCKET_CPU):
         if max_elements is None:
             max_elements = max_batch_elements(
                 device.spec.memory_capacity_bytes, trial_chunk, s)
-        if prefetch:
-            max_elements = max(max_elements // 2, 1)  # double buffering
+        max_elements = max(max_elements // plan.resident_factor, 1)
         all_lengths = np.diff(indptr)
         n_seg = all_lengths.size
         # CPU-side compaction: segments shorter than s generate no shingles
@@ -90,7 +115,115 @@ def device_shingle_pass(
         compact_indptr = np.zeros(valid_ids.size + 1, dtype=np.int64)
         np.cumsum(lengths, out=compact_indptr[1:])
 
-        plan = plan_batches(compact_indptr, max_elements)
+        batch_plan = plan_batches(compact_indptr, max_elements)
+        chunks = [(lo, min(lo + trial_chunk, c))
+                  for lo in range(0, c, trial_chunk)]
+
+    if batch_plan.n_batches == 1:
+        return _single_batch_streaming(
+            device, elements, batch_plan.batches[0], chunks, config, kernel,
+            plan, lengths, valid_ids, n_seg)
+    return _multi_batch_accumulate(
+        device, elements, batch_plan, chunks, config, kernel, plan,
+        lengths, valid_ids, n_seg)
+
+
+def _run_chunks(plan: ExecutionPlan, chunks, work) -> None:
+    """Execute ``work(lo, hi)`` for every trial chunk under the plan."""
+    if plan.n_workers == 1 or len(chunks) <= 1:
+        for lo, hi in chunks:
+            work(lo, hi)
+        return
+    with ThreadPoolExecutor(max_workers=plan.n_workers) as executor:
+        futures = [executor.submit(work, lo, hi) for lo, hi in chunks]
+        for future in futures:
+            future.result()
+
+
+def _single_batch_streaming(
+    device: SimulatedDevice,
+    elements: np.ndarray,
+    batch,
+    chunks,
+    config: PassConfig,
+    kernel: str,
+    plan: ExecutionPlan,
+    lengths: np.ndarray,
+    valid_ids: np.ndarray,
+    n_seg: int,
+) -> PassResult:
+    """The streaming hot path: one resident batch, per-chunk aggregation.
+
+    A single batch cannot contain split lists, so every trial chunk's block
+    aggregates independently the moment its kernels finish; the full
+    ``(c, n, s)`` arrays are never materialized.
+    """
+    breakdown = device.breakdown
+    s = config.s
+    a, b, salts = config.a_array, config.b_array, config.salts
+    n_rows = batch.n_segments
+
+    with breakdown.timing(BUCKET_CPU):
+        seg_ids_table = segment_element_ids(batch.local_indptr)
+        aggregator = StreamingAggregator(s, n_seg)
+        host_pool = ScratchPool()  # reused download staging across chunks
+
+    d_elem = device.upload(batch.slice_elements(elements))
+    d_indptr = device.upload(batch.local_indptr)
+
+    def run_chunk(lo: int, hi: int) -> None:
+        t = hi - lo
+        fps_buf = host_pool.take((t, n_rows), np.uint64)
+        top_buf = host_pool.take((t, n_rows, s), np.uint64)
+        device.shingle_chunk(
+            d_elem, d_indptr,
+            a=a[lo:hi], b=b[lo:hi], prime=config.prime, s=s,
+            salts=salts[lo:hi], kernel=kernel, seg_ids=seg_ids_table,
+            out_fps=fps_buf, out_top=top_buf, label=f"trials {lo}-{hi - 1}")
+        with breakdown.timing(BUCKET_CPU):
+            partial = aggregate_pass(fps_buf, top_buf, lengths, s,
+                                     segment_ids=valid_ids, n_segments=n_seg)
+            aggregator.add(lo, partial)
+        host_pool.give(fps_buf, top_buf)
+
+    try:
+        _run_chunks(plan, chunks, run_chunk)
+    finally:
+        device.free(d_elem, d_indptr)
+
+    with breakdown.timing(BUCKET_CPU):
+        if aggregator.n_partials == 0:
+            # c == 0 degenerate case: an empty pass over n_seg segments.
+            return aggregate_pass(np.empty((0, n_rows), dtype=np.uint64),
+                                  np.empty((0, n_rows, s), dtype=np.uint64),
+                                  lengths, s, segment_ids=valid_ids,
+                                  n_segments=n_seg)
+        return aggregator.result()
+
+
+def _multi_batch_accumulate(
+    device: SimulatedDevice,
+    elements: np.ndarray,
+    batch_plan,
+    chunks,
+    config: PassConfig,
+    kernel: str,
+    plan: ExecutionPlan,
+    lengths: np.ndarray,
+    valid_ids: np.ndarray,
+    n_seg: int,
+) -> PassResult:
+    """General path: several batches, scatter into pass-level accumulators.
+
+    Batch uploads may double-buffer (``prefetch``) and each batch's trial
+    chunks may run on concurrent streams (``multistream``); the final
+    aggregation happens once, after split lists are merged.
+    """
+    breakdown = device.breakdown
+    s, c = config.s, config.c
+    a, b, salts = config.a_array, config.b_array, config.salts
+
+    with breakdown.timing(BUCKET_CPU):
         n_rows = valid_ids.size
         fps_all = np.zeros((c, n_rows), dtype=np.uint64)
         top_all = np.full((c, n_rows, s), SENTINEL, dtype=np.uint64)
@@ -101,22 +234,36 @@ def device_shingle_pass(
         return (device.upload(batch.slice_elements(elements)),
                 device.upload(batch.local_indptr))
 
-    executor = ThreadPoolExecutor(max_workers=1) if prefetch else None
+    uploader = (ThreadPoolExecutor(max_workers=1)
+                if plan.mode == EXEC_PREFETCH else None)
     pending = None
     try:
-        for bi, batch in enumerate(plan):
-            if executor is None:
+        for bi, batch in enumerate(batch_plan):
+            if uploader is None:
                 d_elem, d_indptr = _upload(batch)
             else:
                 # Double buffering: this batch was prefetched during the
                 # previous batch's kernels; kick off the next one now.
                 d_elem, d_indptr = (pending.result() if pending is not None
                                     else _upload(batch))
-                pending = (executor.submit(_upload, plan.batches[bi + 1])
-                           if bi + 1 < plan.n_batches else None)
-            fps_b, top_b = device.shingle_batch(
-                d_elem, d_indptr, a=a, b=b, prime=config.prime, s=s,
-                salts=salts, kernel=kernel, trial_chunk=trial_chunk)
+                pending = (uploader.submit(_upload, batch_plan.batches[bi + 1])
+                           if bi + 1 < batch_plan.n_batches else None)
+
+            n_b = batch.n_segments
+            with breakdown.timing(BUCKET_CPU):
+                seg_ids_table = segment_element_ids(batch.local_indptr)
+                fps_b = np.empty((c, n_b), dtype=np.uint64)
+                top_b = np.empty((c, n_b, s), dtype=np.uint64)
+
+            def run_chunk(lo: int, hi: int) -> None:
+                device.shingle_chunk(
+                    d_elem, d_indptr,
+                    a=a[lo:hi], b=b[lo:hi], prime=config.prime, s=s,
+                    salts=salts[lo:hi], kernel=kernel, seg_ids=seg_ids_table,
+                    out_fps=fps_b[lo:hi], out_top=top_b[lo:hi],
+                    label=f"batch {bi} trials {lo}-{hi - 1}")
+
+            _run_chunks(plan, chunks, run_chunk)
             device.free(d_elem, d_indptr)
 
             with breakdown.timing(BUCKET_CPU):
@@ -129,8 +276,8 @@ def device_shingle_pass(
                     src = int(batch.segment_ids[local_idx])
                     split_chunks.setdefault(src, []).append(top_b[:, local_idx, :])
     finally:
-        if executor is not None:
-            executor.shutdown(wait=True)
+        if uploader is not None:
+            uploader.shutdown(wait=True)
 
     with breakdown.timing(BUCKET_CPU):
         if split_chunks:
@@ -154,14 +301,25 @@ def _merge_splits_into(
     split adjacency list".  The global top-``s`` of a list is always
     contained in the union of its chunks' top-``s`` sets, so sorting the
     padded candidate block and keeping the first ``s`` recovers it exactly.
+
+    The candidate block is built with a single vectorized scatter: all
+    pieces stack into one ``(c, total_pieces, s)`` array and land at their
+    ``(column, piece)`` coordinates in one indexing operation.
     """
     split_ids = np.array(sorted(split_chunks), dtype=np.int64)
     c = fps_all.shape[0]
-    max_pieces = max(len(v) for v in split_chunks.values())
-    block = np.full((c, split_ids.size, max_pieces * s), SENTINEL, dtype=np.uint64)
-    for col, src in enumerate(split_ids.tolist()):
-        for piece, pairs in enumerate(split_chunks[src]):
-            block[:, col, piece * s:(piece + 1) * s] = pairs
+    pieces_per = np.array([len(split_chunks[src]) for src in split_ids.tolist()],
+                          dtype=np.int64)
+    max_pieces = int(pieces_per.max())
+    stacked = np.stack([pairs
+                        for src in split_ids.tolist()
+                        for pairs in split_chunks[src]], axis=1)
+    col_idx = np.repeat(np.arange(split_ids.size, dtype=np.int64), pieces_per)
+    piece_starts = np.cumsum(pieces_per) - pieces_per
+    piece_idx = np.arange(col_idx.size, dtype=np.int64) - np.repeat(piece_starts, pieces_per)
+    block = np.full((c, split_ids.size, max_pieces, s), SENTINEL, dtype=np.uint64)
+    block[:, col_idx, piece_idx, :] = stacked
+    block = block.reshape(c, split_ids.size, max_pieces * s)
     block.sort(axis=2)
     merged = block[:, :, :s]
     top_all[:, split_ids, :] = merged

@@ -1,0 +1,85 @@
+"""Execution plans for the device-backed shingling hot path.
+
+The paper's pipeline is fully synchronous ("the data movement operations are
+implemented using synchronous mechanism, and the overhead of transferring
+data between CPU and GPU is unavoidable") and names asynchronous operation as
+future work (§V).  This module makes the schedule pluggable so the driver in
+:mod:`repro.core.device_exec` can run the same batch/trial-chunk work units
+under three plans:
+
+``sync``
+    The paper-faithful baseline: upload, launch, download, aggregate — one
+    operation at a time.
+``prefetch``
+    Double-buffered transfers: while batch *i* computes, a single copy
+    thread uploads batch *i+1*.  The element budget is halved because two
+    batches are resident.
+``multistream``
+    Trial-chunk streams: each pass's ``c`` trials split into independent
+    chunks executed concurrently on a small worker pool.  NumPy kernels
+    release the GIL, so streams overlap with each other and with CPU-side
+    scatter/aggregation — the analogue of issuing kernel rounds on separate
+    CUDA streams.  The element budget is divided by the stream count because
+    each stream holds its own working set on the device.
+
+All plans produce bit-identical :class:`~repro.core.passresult.PassResult`s;
+only the schedule (and therefore the wall-clock overlap) differs.  Table-I
+buckets stay faithful under concurrency: each component accumulates its own
+busy seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+EXEC_SYNC = "sync"
+EXEC_PREFETCH = "prefetch"
+EXEC_MULTISTREAM = "multistream"
+
+EXEC_MODES = (EXEC_SYNC, EXEC_PREFETCH, EXEC_MULTISTREAM)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How one shingling pass schedules its batches and trial chunks.
+
+    Attributes
+    ----------
+    mode:
+        One of :data:`EXEC_MODES`.
+    streams:
+        Worker count for ``multistream`` (ignored by the other modes).
+    """
+
+    mode: str = EXEC_SYNC
+    streams: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mode not in EXEC_MODES:
+            raise ValueError(
+                f"unknown exec mode {self.mode!r}; expected one of {EXEC_MODES}")
+        if self.streams < 1:
+            raise ValueError("streams must be >= 1")
+
+    @property
+    def n_workers(self) -> int:
+        """Concurrent kernel streams this plan keeps in flight."""
+        return self.streams if self.mode == EXEC_MULTISTREAM else 1
+
+    @property
+    def resident_factor(self) -> int:
+        """How many working sets are device-resident at once.
+
+        The batch element budget is divided by this: prefetch keeps two
+        batches resident (double buffering); multistream keeps one batch
+        but ``streams`` kernel working sets.
+        """
+        if self.mode == EXEC_PREFETCH:
+            return 2
+        if self.mode == EXEC_MULTISTREAM:
+            return self.streams
+        return 1
+
+    @classmethod
+    def from_mode(cls, mode: str, streams: int = 2) -> "ExecutionPlan":
+        return cls(mode=mode, streams=streams)

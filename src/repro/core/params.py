@@ -11,6 +11,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.execplan import EXEC_MODES, EXEC_SYNC, ExecutionPlan
 from repro.util.mixhash import trial_salt
 from repro.util.primes import DEFAULT_PRIME, is_probable_prime
 from repro.util.rng import HashPair, make_hash_pairs, spawn_rng
@@ -49,6 +50,12 @@ class ShinglingParams:
         ``"sort"`` (Thrust-faithful full segmented sort).
     trial_chunk:
         Trials per device kernel round (bounds device working memory).
+    exec_mode:
+        Device-path schedule: ``"sync"`` (paper-faithful synchronous),
+        ``"prefetch"`` (double-buffered batch uploads) or ``"multistream"``
+        (concurrent trial-chunk streams).  All modes are bit-identical.
+    streams:
+        Worker count for ``"multistream"`` (ignored otherwise).
     report_mode:
         Phase III output: ``"partition"`` (union-find, the paper's choice —
         no vertex in two clusters) or ``"overlapping"`` (per-component
@@ -77,6 +84,8 @@ class ShinglingParams:
     seed: int = 0
     kernel: str = KERNEL_SELECT
     trial_chunk: int = 16
+    exec_mode: str = EXEC_SYNC
+    streams: int = 2
     report_mode: str = REPORT_PARTITION
     include_generators: bool = False
     union_backend: str = UNION_VECTORIZED
@@ -95,6 +104,10 @@ class ShinglingParams:
             raise ValueError("prime too large: products must fit in uint64")
         if self.kernel not in (KERNEL_SELECT, KERNEL_SORT):
             raise ValueError(f"unknown kernel {self.kernel!r}")
+        if self.exec_mode not in EXEC_MODES:
+            raise ValueError(f"unknown exec_mode {self.exec_mode!r}")
+        if self.streams < 1:
+            raise ValueError("streams must be >= 1")
         if self.report_mode not in (REPORT_PARTITION, REPORT_OVERLAPPING):
             raise ValueError(f"unknown report_mode {self.report_mode!r}")
         if self.union_backend not in (UNION_VECTORIZED, UNION_UNIONFIND):
@@ -107,6 +120,10 @@ class ShinglingParams:
     def with_overrides(self, **kwargs) -> "ShinglingParams":
         """A copy with some fields replaced."""
         return replace(self, **kwargs)
+
+    def execution_plan(self) -> ExecutionPlan:
+        """The :class:`ExecutionPlan` these parameters select."""
+        return ExecutionPlan(mode=self.exec_mode, streams=self.streams)
 
     # ------------------------------------------------------------------ #
     # Derived per-pass configuration

@@ -19,6 +19,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.device_exec import device_shingle_pass
+from repro.core.execplan import EXEC_PREFETCH, EXEC_SYNC, ExecutionPlan
 from repro.core.params import (
     GROUPING_ONE_SHINGLE,
     REPORT_PARTITION,
@@ -97,9 +98,14 @@ class GpClust:
         self.params = params or ShinglingParams()
         self.device_spec = device_spec or DeviceSpec()
         self.max_batch_elements = max_batch_elements
-        # Asynchronous double-buffered transfers (the paper's future work);
-        # off by default to match the synchronous Thrust 1.5 implementation.
-        self.prefetch = prefetch
+        # Schedule comes from params.exec_mode; the legacy ``prefetch`` flag
+        # upgrades a sync plan to double buffering (the paper's future work —
+        # off by default to match the synchronous Thrust 1.5 implementation).
+        plan = self.params.execution_plan()
+        if prefetch and plan.mode == EXEC_SYNC:
+            plan = ExecutionPlan(mode=EXEC_PREFETCH)
+        self.plan = plan
+        self.prefetch = plan.mode == EXEC_PREFETCH
 
     def run(self, graph: CSRGraph, io_seconds: float = 0.0,
             device: SimulatedDevice | None = None) -> ClusterResult:
@@ -120,7 +126,7 @@ class GpClust:
         pass1 = device_shingle_pass(
             graph.indptr, graph.indices, params.pass_config(1), device,
             kernel=params.kernel, trial_chunk=params.trial_chunk,
-            max_elements=self.max_batch_elements, prefetch=self.prefetch)
+            max_elements=self.max_batch_elements, plan=self.plan)
         if params.grouping == GROUPING_ONE_SHINGLE:
             with breakdown.timing(BUCKET_CPU):
                 output = one_shingle_labels(pass1, graph.n_vertices,
@@ -133,7 +139,7 @@ class GpClust:
         pass2 = device_shingle_pass(
             indptr2, elements2, params.pass_config(2), device,
             kernel=params.kernel, trial_chunk=params.trial_chunk,
-            max_elements=self.max_batch_elements, prefetch=self.prefetch)
+            max_elements=self.max_batch_elements, plan=self.plan)
 
         with breakdown.timing(BUCKET_CPU):
             output = report_clusters(

@@ -27,7 +27,7 @@ from repro.core.params import (
 )
 from repro.core.passresult import PassResult
 from repro.graph.components import bipartite_components
-from repro.graph.unionfind import UnionFind, union_groups
+from repro.graph.unionfind import UnionFind, union_edges, union_groups
 
 
 def _phase3_groups(pass1: PassResult, pass2: PassResult,
@@ -89,6 +89,65 @@ def _phase3_groups(pass1: PassResult, pass2: PassResult,
     return offsets, flat
 
 
+def _phase3_edges(pass1: PassResult, pass2: PassResult,
+                  include_generators: bool) -> tuple[np.ndarray, np.ndarray]:
+    """The star edges of :func:`_phase3_groups`, built directly.
+
+    Each group's star links its leader (first member — ``members2[t, 0]``,
+    since ``s2 >= 1``) to every member, so the edges can be emitted without
+    materializing the interleaved segmented flat array at all: one
+    ``np.repeat`` per part instead of scatter-position arithmetic over
+    millions of entries.  Connectivity (and therefore the canonical labels,
+    which depend only on the partition) is identical to running
+    :func:`~repro.graph.unionfind.union_groups` on the grouped form.
+    """
+    members1 = pass1.members
+    members2 = pass2.members
+    gens2 = pass2.gen_graph
+    s1 = pass1.s
+    s2 = pass2.s
+
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    if pass2.n_shingles:
+        leaders = members2[:, 0]
+        # Part A: each t's own constituent vertices (the leader IS column 0,
+        # so only the remaining columns need edges).
+        if s2 > 1:
+            src_parts.append(np.repeat(leaders, s2 - 1))
+            dst_parts.append(members2[:, 1:].ravel())
+        if gens2.nnz:
+            # Part B: one edge per (t, f) entry to f's *representative*
+            # vertex, plus one chain per referenced f linking its other
+            # constituents to that representative — transitively equivalent
+            # to linking every constituent to every referencing leader, with
+            # |entries| + s1*|referenced| edges instead of s1*|entries|.
+            src_parts.append(np.repeat(leaders, gens2.degrees()))
+            dst_parts.append(members1[gens2.indices, 0])
+            if s1 > 1:
+                referenced = np.zeros(pass1.n_shingles, dtype=bool)
+                referenced[gens2.indices] = True
+                f_ids = np.flatnonzero(referenced)
+                src_parts.append(np.repeat(members1[f_ids, 0], s1 - 1))
+                dst_parts.append(members1[f_ids, 1:].ravel())
+
+    if include_generators:
+        in_gii = np.zeros(pass1.n_shingles, dtype=bool)
+        if gens2.nnz:
+            in_gii[gens2.indices] = True
+        f_ids = np.flatnonzero(in_gii)
+        if f_ids.size:
+            gens1 = pass1.gen_graph
+            deg1 = gens1.degrees()
+            src_parts.append(np.repeat(members1[f_ids, 0], deg1[f_ids]))
+            dst_parts.append(gens1.indices[np.repeat(in_gii, deg1)])
+
+    if not src_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(src_parts), np.concatenate(dst_parts)
+
+
 def partition_labels(pass1: PassResult, pass2: PassResult, n_vertices: int,
                      backend: str = UNION_VECTORIZED,
                      include_generators: bool = False) -> np.ndarray:
@@ -98,13 +157,14 @@ def partition_labels(pass1: PassResult, pass2: PassResult, n_vertices: int,
     (sets ordered by their smallest vertex id == order of first appearance),
     so both backends return identical arrays.
     """
-    offsets, flat = _phase3_groups(pass1, pass2, include_generators)
     if backend == UNION_VECTORIZED:
-        roots = union_groups(n_vertices, offsets, flat)
+        src, dst = _phase3_edges(pass1, pass2, include_generators)
+        roots = union_edges(n_vertices, src, dst)
         # roots[i] is the min vertex id of i's set, so np.unique's sorted
         # order equals order of first appearance — inverse is canonical.
         _, labels = np.unique(roots, return_inverse=True)
         return labels.astype(np.int64)
+    offsets, flat = _phase3_groups(pass1, pass2, include_generators)
     if backend == UNION_UNIONFIND:
         uf = UnionFind(n_vertices)
         flat_list = flat.tolist()

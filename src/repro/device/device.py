@@ -27,7 +27,7 @@ import time
 import numpy as np
 
 from repro.device import kernels
-from repro.device.memory import DeviceBuffer, DeviceMemory
+from repro.device.memory import DeviceBuffer, DeviceMemory, ScratchPool
 from repro.device.timingmodels import DeviceSpec
 from repro.util.timer import BUCKET_C2G, BUCKET_G2C, BUCKET_GPU, TimeBreakdown
 
@@ -44,6 +44,9 @@ class SimulatedDevice:
         # Optional repro.device.timeline.Timeline recording the modeled
         # schedule of every transfer and kernel round.
         self.timeline = timeline
+        # Recycled kernel working arrays: after the first round of a given
+        # batch geometry, kernel launches allocate nothing fresh.
+        self.scratch = ScratchPool()
 
     def set_breakdown(self, breakdown: TimeBreakdown) -> None:
         """Point timing accumulation at a fresh breakdown (per pipeline run)."""
@@ -72,6 +75,21 @@ class SimulatedDevice:
         if self.timeline is not None:
             self.timeline.record(BUCKET_G2C, "download", modeled)
         return data
+
+    def download_into(self, buffer: DeviceBuffer, out: np.ndarray) -> np.ndarray:
+        """Device -> host copy into an existing host array (``data_g2c``).
+
+        Same accounting as :meth:`download`, but the destination is caller-
+        provided (typically a slice of a pass-level accumulator), so the
+        transfer allocates nothing.
+        """
+        t0 = time.perf_counter()
+        modeled = self.memory.to_host_into(buffer, out)
+        self.breakdown.add(BUCKET_G2C, time.perf_counter() - t0)
+        self.breakdown.add_modeled(BUCKET_G2C, modeled)
+        if self.timeline is not None:
+            self.timeline.record(BUCKET_G2C, "download", modeled)
+        return out
 
     def free(self, *buffers: DeviceBuffer) -> None:
         for buf in buffers:
@@ -136,49 +154,106 @@ class SimulatedDevice:
         if not (len(b) == len(salts) == c):
             raise ValueError("a, b, salts must have equal length")
 
-        elements = d_elements.device_view()
         indptr = d_indptr.device_view().astype(np.int64, copy=False)
         n_seg = indptr.size - 1
-        nnz = elements.size
 
         fps_host = np.empty((c, n_seg), dtype=np.uint64)
         top_host = np.empty((c, n_seg, s), dtype=np.uint64)
 
+        # Per-element segment ids: one gather table shared by every round.
+        t0 = time.perf_counter()
+        seg_ids = kernels.segment_element_ids(indptr)
+        self.breakdown.add(BUCKET_GPU, time.perf_counter() - t0)
+
+        for lo in range(0, c, trial_chunk):
+            hi = min(lo + trial_chunk, c)
+            self.shingle_chunk(
+                d_elements, d_indptr,
+                a=a[lo:hi], b=b[lo:hi], prime=prime, s=s, salts=salts[lo:hi],
+                kernel=kernel, seg_ids=seg_ids,
+                out_fps=fps_host[lo:hi], out_top=top_host[lo:hi],
+                label=f"trials {lo}-{hi - 1}")
+
+        return fps_host, top_host
+
+    def shingle_chunk(
+        self,
+        d_elements: DeviceBuffer,
+        d_indptr: DeviceBuffer,
+        *,
+        a: np.ndarray,
+        b: np.ndarray,
+        prime: int,
+        s: int,
+        salts: np.ndarray,
+        kernel: str = "select",
+        seg_ids: np.ndarray | None = None,
+        out_fps: np.ndarray | None = None,
+        out_top: np.ndarray | None = None,
+        label: str = "trial chunk",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One kernel round: a chunk of trials over one uploaded batch.
+
+        This is the unit of work a multi-stream execution plan schedules:
+        every internal working array comes from :attr:`scratch` and the
+        results land in the caller-provided ``out_fps``/``out_top`` host
+        buffers (or fresh arrays when omitted), so the steady state of a
+        pass performs zero fresh large allocations.  Thread-safe: concurrent
+        streams draw distinct scratch buffers and the breakdown/timeline/
+        memory accounting are all lock-protected.
+
+        Returns the ``(fps, top)`` host arrays for trials ``a``/``b``/``salts``
+        describe — shapes ``(t, n_seg)`` and ``(t, n_seg, s)``.
+        """
+        if kernel not in ("select", "sort"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        t = len(a)
+        elements = d_elements.device_view()
+        indptr = d_indptr.device_view().astype(np.int64, copy=False)
+        n_seg = indptr.size - 1
+        nnz = elements.size
+        pool = self.scratch
         select_fn = (kernels.segmented_select_top_s if kernel == "select"
                      else kernels.segmented_sort_top_s)
         kernel_class = "sort" if kernel == "sort" else "select"
 
-        for lo in range(0, c, trial_chunk):
-            hi = min(lo + trial_chunk, c)
-            t = hi - lo
+        t0 = time.perf_counter()
+        packed = pool.take((t, nnz), np.uint64)
+        kernels.affine_hash(elements, a, b, prime, out=packed)
+        kernels.pack_pairs(packed, elements, out=packed)
+        d_work = self.memory.adopt(packed)           # working set on device
+        top = pool.take((t, n_seg, s), np.uint64)
+        select_fn(packed, indptr, s, scratch=pool, seg_ids=seg_ids, out=top)
+        top_ids = pool.take((t, n_seg, s), np.uint64)
+        kernels.unpack_ids(top, out=top_ids)
+        fps = pool.take((t, n_seg), np.uint64)
+        kernels.fold_fingerprints(
+            top_ids, np.asarray(salts, dtype=np.uint64),
+            scratch=pool, out=fps)
+        d_top = self.memory.adopt(top)
+        d_fps = self.memory.adopt(fps)
+        self.breakdown.add(BUCKET_GPU, time.perf_counter() - t0)
+        modeled_gpu = (
+            self.spec.kernels.seconds_for("transform", t * nnz)
+            + self.spec.kernels.seconds_for(
+                kernel_class,
+                kernels.count_kernel_elements(kernel_class, t, nnz, n_seg, s))
+            + self.spec.kernels.seconds_for(
+                "reduce",
+                kernels.count_kernel_elements("reduce", t, nnz, n_seg, s)))
+        self.breakdown.add_modeled(BUCKET_GPU, modeled_gpu)
+        if self.timeline is not None:
+            self.timeline.record(BUCKET_GPU, label, modeled_gpu)
 
-            t0 = time.perf_counter()
-            hashed = kernels.affine_hash(elements, a[lo:hi], b[lo:hi], prime)
-            packed = kernels.pack_pairs(hashed, elements)
-            d_work = self.memory.adopt(packed)       # working set on device
-            top = select_fn(packed, indptr, s)       # (t, n_seg, s)
-            _, top_ids = kernels.unpack_pairs(top)
-            fps = kernels.fold_fingerprints(
-                top_ids, np.asarray(salts[lo:hi], dtype=np.uint64))
-            d_top = self.memory.adopt(top)
-            d_fps = self.memory.adopt(fps)
-            self.breakdown.add(BUCKET_GPU, time.perf_counter() - t0)
-            modeled_gpu = (
-                self.spec.kernels.seconds_for("transform", t * nnz)
-                + self.spec.kernels.seconds_for(
-                    kernel_class,
-                    kernels.count_kernel_elements(kernel_class, t, nnz, n_seg, s))
-                + self.spec.kernels.seconds_for(
-                    "reduce",
-                    kernels.count_kernel_elements("reduce", t, nnz, n_seg, s)))
-            self.breakdown.add_modeled(BUCKET_GPU, modeled_gpu)
-            if self.timeline is not None:
-                self.timeline.record(BUCKET_GPU, f"trials {lo}-{hi - 1}",
-                                     modeled_gpu)
-
-            # Transfer this round's shingles back immediately (synchronous).
-            top_host[lo:hi] = self.download(d_top)
-            fps_host[lo:hi] = self.download(d_fps)
-            self.free(d_work, d_top, d_fps)
-
-        return fps_host, top_host
+        # Transfer this round's shingles back immediately (synchronous).
+        if out_top is None:
+            out_top = self.download(d_top)
+        else:
+            self.download_into(d_top, out_top)
+        if out_fps is None:
+            out_fps = self.download(d_fps)
+        else:
+            self.download_into(d_fps, out_fps)
+        self.free(d_work, d_top, d_fps)
+        pool.give(packed, top, top_ids, fps)
+        return out_fps, out_top

@@ -7,29 +7,43 @@ never a per-element interpreted loop.  The kernels are pure functions over
 ndarrays; :class:`repro.device.device.SimulatedDevice` wraps them with device
 buffers, timing, and cost-model accounting.
 
+All hot-path kernels accept optional ``out=`` destinations and (where they
+need internal working arrays) a :class:`repro.device.memory.ScratchPool`, so
+the steady state of a shingling pass performs **zero** fresh large
+allocations: every round reuses the previous round's buffers, exactly as a
+real CUDA pipeline would reuse device allocations across kernel launches.
+The defaults (no pool, no ``out``) preserve the original allocate-per-call
+behaviour for tests and one-off callers.
+
 Kernel inventory
 ----------------
 ``affine_hash``
     ``thrust::transform`` analogue: ``h_j(v) = (A_j*v + B_j) mod P`` for a
     chunk of trials ``j`` at once (one row per trial).
-``pack_pairs`` / ``unpack_pairs``
+``pack_pairs`` / ``unpack_pairs`` / ``unpack_ids``
     Pack (hash, id) into one uint64 so a single segmented min yields both the
     minimum hash and its original element.
 ``segmented_sort_top_s``
     ``thrust::sort`` analogue: stable segmented sort, then take each
-    segment's first ``s`` entries.  Reference implementation.
+    segment's first ``s`` entries.  Reference implementation; the sort is a
+    single 2-D composite-key argsort (value pass then stable segment pass),
+    not a per-trial interpreted loop.
 ``segmented_select_top_s``
     Optimized selection: ``s`` rounds of segmented min (``ufunc.reduceat``)
     with masking.  O(s*n) instead of O(n log n); produces identical output.
 ``fold_fingerprints``
     ``thrust::transform`` analogue folding each segment's top-``s`` ids into
     a 64-bit shingle fingerprint.
+``segment_element_ids``
+    Auxiliary iota: the segment id of every element — computed once per
+    batch and reused by every selection round.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.device.memory import ScratchPool
 from repro.util.mixhash import fold_fingerprint_array
 
 #: Sentinel marking "no element": larger than any packed (hash, id) pair.
@@ -40,7 +54,20 @@ _ID_BITS = np.uint64(32)
 _ID_MASK = np.uint64((1 << 32) - 1)
 
 
-def affine_hash(values: np.ndarray, a: np.ndarray, b: np.ndarray, prime: int) -> np.ndarray:
+def _take(pool: ScratchPool | None, shape, dtype):
+    """A scratch buffer from the pool, or a fresh allocation without one."""
+    if pool is not None:
+        return pool.take(shape, dtype)
+    return np.empty(shape, dtype=dtype)
+
+
+def _give(pool: ScratchPool | None, *arrays: np.ndarray) -> None:
+    if pool is not None:
+        pool.give(*arrays)
+
+
+def affine_hash(values: np.ndarray, a: np.ndarray, b: np.ndarray, prime: int,
+                out: np.ndarray | None = None) -> np.ndarray:
     """Min-wise hash a flat element buffer under a chunk of trials.
 
     Parameters
@@ -51,6 +78,9 @@ def affine_hash(values: np.ndarray, a: np.ndarray, b: np.ndarray, prime: int) ->
         ``(T,)`` per-trial hash coefficients.
     prime:
         The modulus ``P``.
+    out:
+        Optional ``(T, nnz)`` uint64 destination; when given, no temporaries
+        are allocated (the computation runs in place on ``out``).
 
     Returns
     -------
@@ -64,27 +94,63 @@ def affine_hash(values: np.ndarray, a: np.ndarray, b: np.ndarray, prime: int) ->
         # Products a*v must stay below 2**64: both factors < ~2**31.5.
         raise ValueError(f"prime {prime} outside supported range")
     with np.errstate(over="ignore"):
-        return (a * v + b) % np.uint64(prime)
+        if out is None:
+            return (a * v + b) % np.uint64(prime)
+        np.multiply(a, v, out=out)
+        np.add(out, b, out=out)
+        np.remainder(out, np.uint64(prime), out=out)
+        return out
 
 
-def pack_pairs(hashed: np.ndarray, ids: np.ndarray) -> np.ndarray:
+def pack_pairs(hashed: np.ndarray, ids: np.ndarray,
+               out: np.ndarray | None = None,
+               checked: bool = False) -> np.ndarray:
     """Pack ``(hash, id)`` into ``hash << 32 | id`` (uint64).
 
     Requires ``hash < 2**31`` (guaranteed by the prime bound) and
     ``id < 2**32``.  Ordering packed pairs orders primarily by hash, with the
     id as a deterministic tiebreaker — though within one adjacency list ties
     cannot occur because the affine map is injective mod P.
+
+    ``out`` may alias ``hashed`` (the shift runs in place).  ``checked=True``
+    skips the per-call id-range scan for callers that validated the element
+    buffer once per batch.
     """
     ids = np.asarray(ids, dtype=np.uint64)
-    if ids.size and int(ids.max()) >> 32:
+    if not checked and ids.size and int(ids.max()) >> 32:
         raise ValueError("element ids must fit in 32 bits")
-    return (np.asarray(hashed, dtype=np.uint64) << _ID_BITS) | ids
+    hashed = np.asarray(hashed, dtype=np.uint64)
+    if out is None:
+        return (hashed << _ID_BITS) | ids
+    np.left_shift(hashed, _ID_BITS, out=out)
+    np.bitwise_or(out, ids, out=out)
+    return out
 
 
 def unpack_pairs(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Inverse of :func:`pack_pairs`: returns ``(hash, id)`` arrays."""
     packed = np.asarray(packed, dtype=np.uint64)
     return packed >> _ID_BITS, packed & _ID_MASK
+
+
+def unpack_ids(packed: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """The id halves of packed pairs only (the fingerprint fold's input)."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    if out is None:
+        return packed & _ID_MASK
+    np.bitwise_and(packed, _ID_MASK, out=out)
+    return out
+
+
+def segment_element_ids(indptr: np.ndarray) -> np.ndarray:
+    """Segment id of every element position (``[0,0,..,1,1,..]``).
+
+    One gather table, computed once per batch; every selection round expands
+    per-segment minima to element positions through it with ``np.take``.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    return np.repeat(np.arange(indptr.size - 1, dtype=np.int64),
+                     np.diff(indptr))
 
 
 def _segment_geometry(indptr: np.ndarray, nnz: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -104,7 +170,10 @@ def _segment_geometry(indptr: np.ndarray, nnz: int) -> tuple[np.ndarray, np.ndar
     return indptr[:-1], lengths, lengths == 0
 
 
-def segmented_select_top_s(packed: np.ndarray, indptr: np.ndarray, s: int) -> np.ndarray:
+def segmented_select_top_s(packed: np.ndarray, indptr: np.ndarray, s: int,
+                           scratch: ScratchPool | None = None,
+                           seg_ids: np.ndarray | None = None,
+                           out: np.ndarray | None = None) -> np.ndarray:
     """Top-``s`` smallest packed pairs per segment via s rounds of segmented min.
 
     Parameters
@@ -115,6 +184,14 @@ def segmented_select_top_s(packed: np.ndarray, indptr: np.ndarray, s: int) -> np
         ``(n_seg + 1,)`` segment boundaries within each row.
     s:
         Number of minima to extract per segment.
+    scratch:
+        Optional scratch pool for the working copy, per-round minima, the
+        expanded-minimum matrix, and the equality mask — with it, repeated
+        calls of the same geometry allocate nothing.
+    seg_ids:
+        Optional precomputed :func:`segment_element_ids` of ``indptr``.
+    out:
+        Optional ``(T, n_seg, s)`` uint64 destination.
 
     Returns
     -------
@@ -123,54 +200,85 @@ def segmented_select_top_s(packed: np.ndarray, indptr: np.ndarray, s: int) -> np
         smallest pair of segment ``i`` under trial ``t``, or ``SENTINEL``
         when the segment has fewer than ``r+1`` elements.
     """
-    packed = np.array(packed, dtype=np.uint64, ndmin=2, copy=True)
+    packed = np.array(packed, dtype=np.uint64, ndmin=2, copy=False)
     n_trials, nnz = packed.shape
     starts, lengths, empty = _segment_geometry(indptr, nnz)
     n_seg = lengths.size
-    out = np.full((n_trials, n_seg, s), SENTINEL, dtype=np.uint64)
+    if out is None:
+        out = np.empty((n_trials, n_seg, s), dtype=np.uint64)
+    out[...] = SENTINEL
     if nnz == 0 or n_seg == 0:
         return out
     # Trailing empty segments have start == nnz (invalid for reduceat);
     # they are a suffix, so reduce over the valid prefix only.
     n_valid = int(np.searchsorted(starts, nnz, side="left"))
+    work = _take(scratch, (n_trials, nnz), np.uint64)
+    np.copyto(work, packed)
+    segmin = _take(scratch, (n_trials, n_seg), np.uint64)
+    if s > 1:
+        if seg_ids is None:
+            seg_ids = segment_element_ids(indptr)
+        expanded = _take(scratch, (n_trials, nnz), np.uint64)
+        mask = _take(scratch, (n_trials, nnz), np.bool_)
     for r in range(s):
-        segmin = np.full((n_trials, n_seg), SENTINEL, dtype=np.uint64)
-        segmin[:, :n_valid] = np.minimum.reduceat(packed, starts[:n_valid], axis=1)
+        np.minimum.reduceat(work, starts[:n_valid], axis=1,
+                            out=segmin[:, :n_valid])
+        if n_valid < n_seg:
+            segmin[:, n_valid:] = SENTINEL
         segmin[:, empty] = SENTINEL
         out[:, :, r] = segmin
         if r + 1 == s:
             break
         # Mask each extracted minimum so the next round finds the runner-up.
-        expanded = np.repeat(segmin, lengths, axis=1)
-        packed[packed == expanded] = SENTINEL
+        # mode="clip" selects the fast gather path (indices are in range by
+        # construction; "raise" would fall back to a slow checked loop).
+        np.take(segmin, seg_ids, axis=1, out=expanded, mode="clip")
+        np.equal(work, expanded, out=mask)
+        np.copyto(work, SENTINEL, where=mask)
+    _give(scratch, work, segmin)
+    if s > 1:
+        _give(scratch, expanded, mask)
     return out
 
 
-def segmented_sort_top_s(packed: np.ndarray, indptr: np.ndarray, s: int) -> np.ndarray:
+def segmented_sort_top_s(packed: np.ndarray, indptr: np.ndarray, s: int,
+                         scratch: ScratchPool | None = None,
+                         seg_ids: np.ndarray | None = None,
+                         out: np.ndarray | None = None) -> np.ndarray:
     """Reference implementation: full segmented sort, then gather top ``s``.
 
     Mirrors the paper's Thrust pipeline (transform then ``thrust::sort`` of
-    the whole batch with segment keys).  Output is identical to
+    the whole batch with segment keys).  The segmented sort is composed as a
+    least-significant-key radix pass over the whole 2-D trial block: a
+    stable argsort by pair value, then a stable argsort by segment id of the
+    value-ordered positions — one composite-key sort for *all* trials, with
+    no per-trial interpreted loop.  Output is identical to
     :func:`segmented_select_top_s`.
     """
-    packed = np.array(packed, dtype=np.uint64, ndmin=2)
+    packed = np.array(packed, dtype=np.uint64, ndmin=2, copy=False)
     n_trials, nnz = packed.shape
     indptr = np.asarray(indptr, dtype=np.int64)
     _, lengths, _ = _segment_geometry(indptr, nnz)
     n_seg = lengths.size
-    out = np.full((n_trials, n_seg, s), SENTINEL, dtype=np.uint64)
+    if out is None:
+        out = np.empty((n_trials, n_seg, s), dtype=np.uint64)
+    out[...] = SENTINEL
     if nnz == 0 or n_seg == 0:
         return out
-    seg_ids = np.repeat(np.arange(n_seg, dtype=np.int64), lengths)
+    if seg_ids is None:
+        seg_ids = segment_element_ids(indptr)
     take = np.minimum(lengths, s)
     # Destination coordinates of the top-s entries of every segment.
     dst_seg = np.repeat(np.arange(n_seg, dtype=np.int64), take)
     dst_rank = _ranks_within(take)
     src_pos = np.repeat(indptr[:-1], take) + dst_rank
-    for t in range(n_trials):
-        order = np.lexsort((packed[t], seg_ids))
-        sorted_row = packed[t, order]
-        out[t, dst_seg, dst_rank] = sorted_row[src_pos]
+    # Stable LSD composition == np.lexsort((packed[t], seg_ids)) per trial.
+    value_order = np.argsort(packed, axis=1, kind="stable")
+    segment_keys = seg_ids[value_order]
+    segment_order = np.argsort(segment_keys, axis=1, kind="stable")
+    order = np.take_along_axis(value_order, segment_order, axis=1)
+    sorted_rows = np.take_along_axis(packed, order, axis=1)
+    out[:, dst_seg, dst_rank] = sorted_rows[:, src_pos]
     return out
 
 
@@ -185,7 +293,9 @@ def _ranks_within(counts: np.ndarray) -> np.ndarray:
     return idx - seg_start
 
 
-def fold_fingerprints(top_ids: np.ndarray, salts: np.ndarray) -> np.ndarray:
+def fold_fingerprints(top_ids: np.ndarray, salts: np.ndarray,
+                      scratch: ScratchPool | None = None,
+                      out: np.ndarray | None = None) -> np.ndarray:
     """Fold each segment's top-``s`` ids into a shingle fingerprint.
 
     Parameters
@@ -194,6 +304,8 @@ def fold_fingerprints(top_ids: np.ndarray, salts: np.ndarray) -> np.ndarray:
         ``(T, n_seg, s)`` ids in min-hash order.
     salts:
         ``(T,)`` per-trial salts.
+    scratch, out:
+        Optional scratch pool / destination for allocation-free folding.
 
     Returns
     -------
@@ -202,7 +314,7 @@ def fold_fingerprints(top_ids: np.ndarray, salts: np.ndarray) -> np.ndarray:
     """
     top_ids = np.asarray(top_ids, dtype=np.uint64)
     salts = np.asarray(salts, dtype=np.uint64).reshape(-1, 1)
-    return fold_fingerprint_array(top_ids, salts)
+    return fold_fingerprint_array(top_ids, salts, scratch=scratch, out=out)
 
 
 def count_kernel_elements(kernel: str, n_trials: int, nnz: int, n_seg: int, s: int) -> int:

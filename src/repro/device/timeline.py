@@ -15,6 +15,7 @@ much of the critical path is kernels vs. copies vs. host work.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 LANES = ("cpu", "gpu", "data_c2g", "data_g2c")
@@ -40,15 +41,22 @@ class Timeline:
 
     events: list[TimelineEvent] = field(default_factory=list)
     _cursor: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, lane: str, label: str, duration: float) -> None:
-        """Append an event at the current cursor (sequential schedule)."""
+        """Append an event at the current cursor (sequential schedule).
+
+        Thread-safe: concurrent streams append atomically; the sequential
+        cursor then represents the device's serialized submission order.
+        """
         if lane not in LANES:
             raise ValueError(f"unknown lane {lane!r}")
         if duration < 0:
             raise ValueError("duration must be >= 0")
-        self.events.append(TimelineEvent(lane, label, self._cursor, duration))
-        self._cursor += duration
+        with self._lock:
+            self.events.append(TimelineEvent(lane, label, self._cursor, duration))
+            self._cursor += duration
 
     @property
     def makespan(self) -> float:

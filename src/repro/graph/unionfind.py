@@ -159,17 +159,30 @@ def union_groups(n: int, group_offsets: np.ndarray, group_members: np.ndarray) -
     if group_members.size and (group_members.min() < 0 or group_members.max() >= n):
         raise ValueError("group member id out of range")
 
-    labels = np.arange(n, dtype=np.int64)
     if group_members.size == 0:
-        return labels
+        return np.arange(n, dtype=np.int64)
 
     # Build star edges: every member <-> its group leader (first member).
     counts = np.diff(group_offsets)
     nonempty = counts > 0
     leaders = np.repeat(group_members[group_offsets[:-1][nonempty]], counts[nonempty])
-    others = group_members
-    src = leaders
-    dst = others
+    return union_edges(n, leaders, group_members)
+
+
+def union_edges(n: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Min-label propagation over explicit edges; returns root labels.
+
+    The engine behind :func:`union_groups` for callers that already hold an
+    edge list.  Edges are deduplicated up front (labels are invariant under
+    edge multiplicity, and the shingle tables repeat pairs heavily), then
+    hooking + pointer jumping run to fixpoint.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    labels = np.arange(n, dtype=np.int64)
+    if src.size == 0:
+        return labels
+    src, dst = _dedup_edges(n, src, dst)
 
     while True:
         # Hook: every endpoint adopts the min label across each edge.
@@ -186,3 +199,35 @@ def union_groups(n: int, group_offsets: np.ndarray, group_members: np.ndarray) -
         if np.array_equal(labels, before):
             break
     return labels
+
+
+#: Bitmap-dedup ceiling: an n*n presence bitmap up to this many cells (64 MB
+#: of bools) is cheaper than sorting tens of millions of edge keys.
+_BITMAP_DEDUP_CELLS = 1 << 26
+
+
+def _dedup_edges(n: int, src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Drop duplicate and self-loop star edges before label propagation.
+
+    Resulting labels are invariant under edge multiplicity (hooking takes
+    minima), but ``np.minimum.at`` is a buffered scatter whose cost is linear
+    in the edge count *per propagation round* — and shingle tables repeat the
+    same (leader, member) pair tens of times.  Small universes dedup through
+    an ``n*n`` presence bitmap (one linear scatter + scan); larger ones sort
+    packed 64-bit keys; degenerate inputs pass through unchanged.
+    """
+    if n * n <= _BITMAP_DEDUP_CELLS:
+        seen = np.zeros(n * n, dtype=bool)
+        seen[src * n + dst] = True
+        keys = np.flatnonzero(seen)
+        src, dst = keys // n, keys % n
+    elif n <= (1 << 32) and src.size > 4 * n:
+        keys = np.unique((src.astype(np.uint64) << np.uint64(32))
+                         | dst.astype(np.uint64))
+        src = (keys >> np.uint64(32)).astype(np.int64)
+        dst = (keys & np.uint64(0xFFFFFFFF)).astype(np.int64)
+    loops = src == dst
+    if loops.any():
+        keep = ~loops
+        src, dst = src[keep], dst[keep]
+    return src, dst

@@ -28,14 +28,29 @@ def mix64(x: int) -> int:
     return (x ^ (x >> 31)) & _MASK64
 
 
+def mix64_inplace(x: np.ndarray, tmp: np.ndarray) -> None:
+    """Splitmix64 finalizer applied in place on ``x``.
+
+    ``tmp`` must be a uint64 array of the same shape; it holds the shifted
+    intermediate so the whole finalizer runs with zero allocations.  Bit-
+    identical to :func:`mix64_array` (same ops, mod 2**64 wraparound).
+    """
+    with np.errstate(over="ignore"):
+        x += np.uint64(_GAMMA)
+        np.right_shift(x, np.uint64(30), out=tmp)
+        x ^= tmp
+        x *= np.uint64(_MUL1)
+        np.right_shift(x, np.uint64(27), out=tmp)
+        x ^= tmp
+        x *= np.uint64(_MUL2)
+        np.right_shift(x, np.uint64(31), out=tmp)
+        x ^= tmp
+
+
 def mix64_array(x: np.ndarray) -> np.ndarray:
     """Vectorized splitmix64 finalizer over a uint64 array."""
     x = x.astype(np.uint64, copy=True)
-    with np.errstate(over="ignore"):
-        x += np.uint64(_GAMMA)
-        x = (x ^ (x >> np.uint64(30))) * np.uint64(_MUL1)
-        x = (x ^ (x >> np.uint64(27))) * np.uint64(_MUL2)
-        x ^= x >> np.uint64(31)
+    mix64_inplace(x, np.empty_like(x))
     return x
 
 
@@ -50,7 +65,8 @@ def fold_fingerprint(ids, salt: int) -> int:
     return fp
 
 
-def fold_fingerprint_array(ids: np.ndarray, salts: np.ndarray) -> np.ndarray:
+def fold_fingerprint_array(ids: np.ndarray, salts: np.ndarray,
+                           scratch=None, out: np.ndarray | None = None) -> np.ndarray:
     """Vectorized fingerprint folding.
 
     Parameters
@@ -59,6 +75,11 @@ def fold_fingerprint_array(ids: np.ndarray, salts: np.ndarray) -> np.ndarray:
         uint64 array of shape ``(..., s)``; the last axis is folded.
     salts:
         uint64 array broadcastable to ``ids.shape[:-1]``.
+    scratch:
+        Optional :class:`repro.device.memory.ScratchPool`; with it (and an
+        ``out`` destination) the fold performs zero fresh allocations.
+    out:
+        Optional uint64 destination of shape ``ids.shape[:-1]``.
 
     Returns
     -------
@@ -66,10 +87,23 @@ def fold_fingerprint_array(ids: np.ndarray, salts: np.ndarray) -> np.ndarray:
         uint64 fingerprints of shape ``ids.shape[:-1]``.
     """
     ids = np.asarray(ids, dtype=np.uint64)
-    fp = mix64_array(np.broadcast_to(np.asarray(salts, dtype=np.uint64),
-                                     ids.shape[:-1]).copy())
+    shape = ids.shape[:-1]
+    fp = out if out is not None else np.empty(shape, dtype=np.uint64)
+    if scratch is not None:
+        tmp = scratch.take(shape, np.uint64)
+        idm = scratch.take(shape, np.uint64)
+    else:
+        tmp = np.empty(shape, dtype=np.uint64)
+        idm = np.empty(shape, dtype=np.uint64)
+    np.copyto(fp, np.broadcast_to(np.asarray(salts, dtype=np.uint64), shape))
+    mix64_inplace(fp, tmp)
     for k in range(ids.shape[-1]):
-        fp = mix64_array(fp ^ mix64_array(ids[..., k]))
+        np.copyto(idm, ids[..., k])
+        mix64_inplace(idm, tmp)
+        fp ^= idm
+        mix64_inplace(fp, tmp)
+    if scratch is not None:
+        scratch.give(tmp, idm)
     return fp
 
 

@@ -36,6 +36,18 @@ def format_mean_std(mean: float, std: float) -> str:
     return f"{mean:.2f} ± {std:.2f}"
 
 
+def table_payload(title: str, headers: Sequence[str],
+                  rows: Iterable[Sequence[object]]) -> dict:
+    """One table as a JSON-serializable dict (machine-readable reports).
+
+    The benchmark harness writes these next to the rendered ASCII tables so
+    downstream tooling never has to parse the text form.  Cells are kept as
+    given (typically pre-formatted strings, matching the rendered table).
+    """
+    return {"title": title, "headers": list(headers),
+            "rows": [list(r) for r in rows]}
+
+
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],

@@ -8,6 +8,7 @@ the same columns.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -74,20 +75,30 @@ class TimeBreakdown:
     A separate ``modeled`` dict accumulates *simulated* device seconds from
     the transfer/kernel cost models, kept apart from measured wall time so
     benchmark reports can show both honestly.
+
+    Accumulation is thread-safe: multi-stream execution charges buckets from
+    worker threads.  Under concurrent execution the buckets record *busy*
+    seconds per component, so their sum bounds — and may exceed — the
+    elapsed wall time, exactly like per-stream profiler output on real
+    hardware.
     """
 
     measured: dict[str, float] = field(default_factory=dict)
     modeled: dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def add(self, bucket: str, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"negative duration {seconds!r} for bucket {bucket!r}")
-        self.measured[bucket] = self.measured.get(bucket, 0.0) + seconds
+        with self._lock:
+            self.measured[bucket] = self.measured.get(bucket, 0.0) + seconds
 
     def add_modeled(self, bucket: str, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"negative duration {seconds!r} for bucket {bucket!r}")
-        self.modeled[bucket] = self.modeled.get(bucket, 0.0) + seconds
+        with self._lock:
+            self.modeled[bucket] = self.modeled.get(bucket, 0.0) + seconds
 
     @contextmanager
     def timing(self, bucket: str) -> Iterator[None]:

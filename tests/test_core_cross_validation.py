@@ -11,7 +11,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.aggregate import StreamingAggregator, aggregate_pass
 from repro.core.device_exec import device_shingle_pass
+from repro.core.execplan import EXEC_MODES, ExecutionPlan
 from repro.core.params import ShinglingParams
 from repro.core.pipeline import GpClust, SerialPClust
 from repro.core.serial import serial_shingle_pass
@@ -92,6 +94,132 @@ class TestPassEquivalence:
         got = device_shingle_pass(g.indptr, g.indices, cfg, fresh_device(),
                                   max_elements=int(rng.integers(3, 50)))
         assert got == ref
+
+
+def _plan_for(mode: str) -> ExecutionPlan:
+    if mode == "multistream":
+        return ExecutionPlan(mode=mode, streams=3)
+    return ExecutionPlan(mode=mode)
+
+
+class TestExecModeEquivalence:
+    """Every execution schedule must be bit-identical to the serial pass."""
+
+    @pytest.mark.parametrize("kernel", ["select", "sort"])
+    @pytest.mark.parametrize("mode", sorted(EXEC_MODES))
+    def test_modes_match_serial(self, blocky_graph, small_params, mode, kernel):
+        cfg = small_params.pass_config(1)
+        ref = serial_shingle_pass(blocky_graph.indptr, blocky_graph.indices, cfg)
+        got = device_shingle_pass(blocky_graph.indptr, blocky_graph.indices,
+                                  cfg, fresh_device(), kernel=kernel,
+                                  trial_chunk=4, plan=_plan_for(mode))
+        assert got == ref
+
+    @pytest.mark.parametrize("max_elements", [7, 23, 10_000])
+    @pytest.mark.parametrize("mode", sorted(EXEC_MODES))
+    def test_modes_match_serial_across_batch_sizes(self, blocky_graph,
+                                                   small_params, mode,
+                                                   max_elements):
+        """Split-forcing batch sizes × schedules: still bit-identical."""
+        cfg = small_params.pass_config(1)
+        ref = serial_shingle_pass(blocky_graph.indptr, blocky_graph.indices, cfg)
+        got = device_shingle_pass(blocky_graph.indptr, blocky_graph.indices,
+                                  cfg, fresh_device(), trial_chunk=4,
+                                  max_elements=max_elements,
+                                  plan=_plan_for(mode))
+        assert got == ref
+
+    @pytest.mark.parametrize("mode", sorted(EXEC_MODES))
+    def test_modes_with_trailing_empty_segments(self, small_params, mode):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)], n_vertices=9)
+        cfg = small_params.pass_config(1)
+        ref = serial_shingle_pass(g.indptr, g.indices, cfg)
+        got = device_shingle_pass(g.indptr, g.indices, cfg, fresh_device(),
+                                  trial_chunk=2, plan=_plan_for(mode))
+        assert got == ref
+
+    @pytest.mark.parametrize("streams", [1, 2, 5])
+    def test_stream_count_invariance(self, blocky_graph, small_params, streams):
+        cfg = small_params.pass_config(1)
+        ref = serial_shingle_pass(blocky_graph.indptr, blocky_graph.indices, cfg)
+        got = device_shingle_pass(
+            blocky_graph.indptr, blocky_graph.indices, cfg, fresh_device(),
+            trial_chunk=3,
+            plan=ExecutionPlan(mode="multistream", streams=streams))
+        assert got == ref
+
+    def test_pipeline_exec_modes_identical(self, small_params):
+        g = random_blocky_graph(seed=21)
+        runs = {
+            mode: GpClust(small_params.with_overrides(
+                exec_mode=mode, streams=3)).run(g)
+            for mode in sorted(EXEC_MODES)
+        }
+        baseline = runs["sync"]
+        for mode, result in runs.items():
+            assert np.array_equal(result.labels, baseline.labels), mode
+
+    def test_scratch_pool_zero_alloc_steady_state(self, blocky_graph,
+                                                  small_params):
+        """After warm-up, repeated same-geometry rounds allocate nothing new.
+
+        The scratch-pool counters are the observable contract of the
+        zero-alloc hot path: every take() after round one must be a reuse.
+        """
+        device = fresh_device()
+        cfg = small_params.pass_config(1)
+        device_shingle_pass(blocky_graph.indptr, blocky_graph.indices, cfg,
+                            device, trial_chunk=8)
+        warm_allocs = device.scratch.n_allocations
+        assert warm_allocs > 0  # the pool is actually in the hot path
+        for _ in range(3):
+            device_shingle_pass(blocky_graph.indptr, blocky_graph.indices,
+                                cfg, device, trial_chunk=8)
+        assert device.scratch.n_allocations == warm_allocs
+        assert device.scratch.n_reuses > 0
+
+
+def _aggregate_inputs(rng, c, n_rows, s):
+    """Random (fps, top, lengths) occurrence arrays with repeated prints."""
+    # Few distinct fingerprints so chunks share them (exercises the merge).
+    fps = rng.integers(0, 6, size=(c, n_rows)).astype(np.uint64)
+    ids = rng.integers(0, 50, size=(c, n_rows, s)).astype(np.uint64)
+    hashes = rng.integers(0, 100, size=(c, n_rows, s)).astype(np.uint64)
+    top = (hashes << np.uint64(32)) | ids
+    top.sort(axis=2)
+    lengths = rng.integers(s, s + 4, size=n_rows).astype(np.int64)
+    return fps, top, lengths
+
+
+class TestStreamingAggregation:
+    @given(st.integers(0, 10_000), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_chunked_aggregation_matches_whole_array(self, seed, data):
+        """Streaming merge over ANY contiguous trial partition is identical
+        to one whole-array aggregate_pass."""
+        rng = np.random.default_rng(seed)
+        c = int(rng.integers(1, 12))
+        n_rows = int(rng.integers(1, 10))
+        s = int(rng.integers(1, 4))
+        fps, top, lengths = _aggregate_inputs(rng, c, n_rows, s)
+
+        whole = aggregate_pass(fps, top, lengths, s)
+
+        cuts = data.draw(st.sets(st.integers(1, max(c - 1, 1)), max_size=c))
+        bounds = [0] + sorted(b for b in cuts if b < c) + [c]
+        agg = StreamingAggregator(s, n_rows)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            agg.add(lo, aggregate_pass(fps[lo:hi], top[lo:hi], lengths, s))
+        assert agg.result() == whole
+
+    def test_out_of_order_adds(self):
+        rng = np.random.default_rng(7)
+        fps, top, lengths = _aggregate_inputs(rng, 9, 6, 2)
+        whole = aggregate_pass(fps, top, lengths, 2)
+        agg = StreamingAggregator(2, 6)
+        for lo, hi in [(6, 9), (0, 3), (3, 6)]:  # arrival order shuffled
+            agg.add(lo, aggregate_pass(fps[lo:hi], top[lo:hi], lengths, 2))
+        assert agg.result() == whole
 
 
 class TestPipelineEquivalence:
