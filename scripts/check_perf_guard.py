@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""CI perf guard: fail when the smoke bench regresses past tolerance.
+
+Diffs a freshly-measured ``benchmarks/results/table1_runtime.json`` against
+the committed per-PR reference (``BENCH_PR2.json``) and exits non-zero when
+any workload's warm total time regresses by more than the tolerance
+(default 15%).  Warm timings on shared CI runners are noisy, which is why
+the guard is tolerance-based rather than exact; improvements never fail.
+
+Usage::
+
+    python scripts/check_perf_guard.py \
+        --measured benchmarks/results/table1_runtime.json \
+        --reference BENCH_PR2.json [--tolerance 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(measured: dict, reference: dict, tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty == pass)."""
+    failures = []
+    ref_rows = reference["table1_rows"]
+    got_rows = measured["workloads"]
+    for name, ref in sorted(ref_rows.items()):
+        if name not in got_rows:
+            failures.append(f"{name}: missing from measured results")
+            continue
+        ref_total = float(ref["total_s"])
+        got_total = float(got_rows[name]["total_s"])
+        limit = ref_total * (1.0 + tolerance)
+        verdict = "OK" if got_total <= limit else "REGRESSION"
+        print(f"{name}: total {got_total:.4f}s vs reference {ref_total:.4f}s "
+              f"(limit {limit:.4f}s, tolerance {tolerance:.0%}) -> {verdict}")
+        if got_total > limit:
+            failures.append(
+                f"{name}: total {got_total:.4f}s exceeds {limit:.4f}s "
+                f"({got_total / ref_total - 1.0:+.1%} vs reference)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--measured",
+                        default="benchmarks/results/table1_runtime.json",
+                        help="fresh bench JSON (written by the smoke bench)")
+    parser.add_argument("--reference", default="BENCH_PR2.json",
+                        help="committed reference JSON")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional total-time regression")
+    args = parser.parse_args(argv)
+
+    measured = json.loads(Path(args.measured).read_text())
+    reference = json.loads(Path(args.reference).read_text())
+    failures = check(measured, reference, args.tolerance)
+    if failures:
+        print("\nPERF GUARD FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("perf guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

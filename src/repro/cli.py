@@ -61,8 +61,10 @@ def _add_param_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--s2", type=int, default=2, help="pass-2 shingle size")
     parser.add_argument("--c2", type=int, default=100, help="pass-2 trials")
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
-    parser.add_argument("--kernel", choices=["select", "sort"],
-                        default="select", help="device top-s kernel")
+    parser.add_argument("--kernel", choices=["select", "sort", "fused"],
+                        default="fused",
+                        help="device top-s kernel (fused = single-launch "
+                             "hash+pack with on-device dedup reduction)")
     parser.add_argument("--exec-mode", dest="exec_mode",
                         choices=["sync", "prefetch", "multistream"],
                         default="sync",
@@ -99,7 +101,27 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_cluster(args: argparse.Namespace) -> int:
     params = _params_from_args(args)
-    result = cluster_graph(args.graph, params, backend=args.backend)
+    if args.profile is not None and args.backend == "device":
+        import json
+
+        from repro.core.pipeline import GpClust
+        from repro.device.device import SimulatedDevice
+
+        graph, io_seconds = timed_load(args.graph)
+        device = SimulatedDevice()
+        result = GpClust(params).run(graph, io_seconds=io_seconds,
+                                     device=device)
+        report = json.dumps(device.profile(), indent=2, sort_keys=True)
+        if args.profile == "-":
+            print(report)
+        else:
+            Path(args.profile).write_text(report + "\n")
+            print(f"profile written to {args.profile}")
+    else:
+        if args.profile is not None:
+            print("--profile requires --backend device; ignoring",
+                  file=sys.stderr)
+        result = cluster_graph(args.graph, params, backend=args.backend)
     if args.out:
         np.savez_compressed(args.out, labels=result.labels)
         print(f"labels written to {args.out}")
@@ -206,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--out", help="write labels to this .npz")
     p_cluster.add_argument("--backend", choices=["device", "serial"],
                            default="device")
+    p_cluster.add_argument("--profile", nargs="?", const="-", default=None,
+                           metavar="PATH",
+                           help="emit a per-kernel-launch timing/bytes "
+                                "breakdown as JSON (to stdout, or to PATH "
+                                "when given): cost-model launch counts, "
+                                "transfer bytes, scratch-pool reuse counters")
     _add_param_args(p_cluster)
     p_cluster.set_defaults(func=cmd_cluster)
 

@@ -15,6 +15,7 @@ always contained in the union of per-chunk top-``s`` sets).
 
 from __future__ import annotations
 
+import os
 import threading
 
 import numpy as np
@@ -26,6 +27,39 @@ from repro.util.mixhash import fold_fingerprint_array
 
 _U32_MAX = np.uint64(0xFFFFFFFF)
 _U32_BITS = np.uint64(32)
+
+# Expensive sanity scans (for example the O(k*s) sentinel-member check after
+# every aggregation) only run when debug checks are on.  Default comes from
+# the environment so a production run never pays for them; the test suite
+# force-enables them via set_debug_checks().
+_DEBUG_CHECKS = os.environ.get("REPRO_DEBUG_CHECKS", "").lower() not in (
+    "", "0", "false", "off")
+
+
+def set_debug_checks(enabled: bool) -> bool:
+    """Toggle debug-mode sanity checks; returns the previous setting."""
+    global _DEBUG_CHECKS
+    previous = _DEBUG_CHECKS
+    _DEBUG_CHECKS = bool(enabled)
+    return previous
+
+
+def debug_checks_enabled() -> bool:
+    """Whether debug-mode sanity checks are currently on."""
+    return _DEBUG_CHECKS
+
+
+def merge_candidate_pairs(block: np.ndarray, s: int) -> np.ndarray:
+    """Sort-and-truncate merge of top-``s`` candidate pairs, in place.
+
+    The global top-``s`` of a list is always contained in the union of its
+    chunks' top-``s`` sets, so sorting the SENTINEL-padded candidate block
+    along its last axis and keeping the first ``s`` recovers it exactly.
+    Shared by every split-list merge call site; ``block`` is sorted in place
+    and the returned array is a view of its leading ``s`` lanes.
+    """
+    block.sort(axis=-1)
+    return block[..., :s]
 
 
 def merge_split_pairs(chunk_pairs: list[np.ndarray], s: int) -> np.ndarray:
@@ -48,8 +82,53 @@ def merge_split_pairs(chunk_pairs: list[np.ndarray], s: int) -> np.ndarray:
     if not chunk_pairs:
         raise ValueError("need at least one chunk")
     stacked = np.concatenate(chunk_pairs, axis=2)
-    stacked = np.sort(stacked, axis=2)
-    return stacked[:, :, :s]
+    return merge_candidate_pairs(stacked, s)
+
+
+def merge_splits_into(
+    fps_all: np.ndarray,
+    top_all: np.ndarray,
+    split_chunks: dict[int, list[np.ndarray]],
+    s: int,
+    salts: np.ndarray,
+) -> None:
+    """Merge per-chunk top-s candidates of split lists; fix fps in place.
+
+    This is the paper's CPU aggregation step that "will remember this case
+    and merge the different copies of shingles into one correct copy for the
+    split adjacency list".  The candidate block is built with a single
+    vectorized scatter: all pieces stack into one ``(c, total_pieces, s)``
+    array and land at their ``(column, piece)`` coordinates in one indexing
+    operation, then :func:`merge_candidate_pairs` recovers the true top-s.
+
+    Parameters
+    ----------
+    fps_all, top_all:
+        ``(c, n_rows)`` / ``(c, n_rows, s)`` pass-level accumulators,
+        updated in place at the split columns.
+    split_chunks:
+        Compact row id -> list of ``(c, s)`` packed top-s arrays, one per
+        batch chunk the list was split across.
+    s, salts:
+        Shingle size and per-trial fingerprint salts.
+    """
+    split_ids = np.array(sorted(split_chunks), dtype=np.int64)
+    c = fps_all.shape[0]
+    pieces_per = np.array([len(split_chunks[src]) for src in split_ids.tolist()],
+                          dtype=np.int64)
+    max_pieces = int(pieces_per.max())
+    stacked = np.stack([pairs
+                        for src in split_ids.tolist()
+                        for pairs in split_chunks[src]], axis=1)
+    col_idx = np.repeat(np.arange(split_ids.size, dtype=np.int64), pieces_per)
+    piece_starts = np.cumsum(pieces_per) - pieces_per
+    piece_idx = np.arange(col_idx.size, dtype=np.int64) - np.repeat(piece_starts, pieces_per)
+    block = np.full((c, split_ids.size, max_pieces, s), SENTINEL, dtype=np.uint64)
+    block[:, col_idx, piece_idx, :] = stacked
+    block = block.reshape(c, split_ids.size, max_pieces * s)
+    merged = merge_candidate_pairs(block, s)
+    top_all[:, split_ids, :] = merged
+    fps_all[:, split_ids] = fingerprints_from_pairs(merged, salts)
 
 
 def fingerprints_from_pairs(pairs: np.ndarray, salts: np.ndarray) -> np.ndarray:
@@ -138,7 +217,8 @@ def aggregate_pass(fps_all: np.ndarray, top_all: np.ndarray, lengths: np.ndarray
 
     result = PassResult(fingerprints=uniq, members=members,
                         gen_graph=gen_graph, n_input_segments=n_seg)
-    _check_no_sentinel_members(result, s)
+    if _DEBUG_CHECKS:
+        _check_no_sentinel_members(result, s)
     return result
 
 
@@ -243,9 +323,25 @@ class StreamingAggregator:
                 n_input_segments=self.n_segments,
             )
         members_cat = np.concatenate([p.members for p in parts], axis=0)
-        uniq, first_idx, inverse = np.unique(
-            fp_cat, return_index=True, return_inverse=True)
-        members = members_cat[first_idx]
+        # Every partial's fingerprints are already sorted (PassResult
+        # invariant), so fp_cat is a handful of ascending runs: a stable
+        # (timsort) argsort merges them in near-linear time instead of
+        # re-sorting from scratch.  Stability also makes the first entry of
+        # each equal-fingerprint run the globally-first occurrence (partials
+        # are ordered by trial offset) — exactly the row
+        # ``np.unique(..., return_index=True)`` would have picked.
+        order = np.argsort(fp_cat, kind="stable")
+        fp_sorted = fp_cat[order]
+        is_start = np.empty(fp_sorted.size, dtype=bool)
+        is_start[0] = True
+        np.not_equal(fp_sorted[1:], fp_sorted[:-1], out=is_start[1:])
+        run_starts = np.flatnonzero(is_start)
+        uniq = fp_sorted[run_starts]
+        members = members_cat[order[run_starts]]
+        # Global group id of every concatenated occurrence (the np.unique
+        # ``inverse``), recovered by scattering the sorted group ranks back.
+        inverse = np.empty(fp_cat.size, dtype=np.int64)
+        inverse[order] = np.cumsum(is_start) - 1
 
         # Union the per-partial generator lists: re-key every CSR entry by
         # its global group id, then one sort + dedup over all entries.
@@ -261,7 +357,10 @@ class StreamingAggregator:
             offset += k
         if keys_parts:
             keys = np.concatenate(keys_parts)
-            keys.sort()
+            # Within each partial the re-keyed entries are already sorted
+            # (group ids rise with the partial's fingerprint order, gens are
+            # sorted per group), so this is again a merge of sorted runs.
+            keys.sort(kind="stable")
         else:
             keys = np.empty(0, dtype=np.uint64)
         gen_graph = _gen_graph_from_sorted_keys(keys, uniq.size, self.n_segments)

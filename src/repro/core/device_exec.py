@@ -38,14 +38,17 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.core.aggregate import (StreamingAggregator, aggregate_pass,
-                                  fingerprints_from_pairs)
-from repro.core.execplan import EXEC_PREFETCH, EXEC_SYNC, ExecutionPlan
-from repro.core.params import PassConfig
+                                  merge_splits_into)
+from repro.core.execplan import (EXEC_PREFETCH, EXEC_SYNC, ExecutionPlan,
+                                 trial_chunks)
+from repro.core.params import KERNEL_FUSED, PassConfig
 from repro.core.passresult import PassResult
 from repro.device.batching import max_batch_elements, plan_batches
 from repro.device.device import SimulatedDevice
-from repro.device.kernels import SENTINEL, segment_element_ids
+from repro.device.kernels import (SENTINEL, reduce_keys_fit,
+                                  segment_element_ids)
 from repro.device.memory import ScratchPool
+from repro.graph.bipartite import BipartiteCSR
 from repro.util.timer import BUCKET_CPU
 
 
@@ -114,18 +117,20 @@ def device_shingle_pass(
         elements = elements[np.repeat(valid, all_lengths)]
         compact_indptr = np.zeros(valid_ids.size + 1, dtype=np.int64)
         np.cumsum(lengths, out=compact_indptr[1:])
+        # Exclusive element-id bound; sizes the fused kernel's hash table
+        # and the on-device reduction's packed keys.
+        n_values = int(elements.max()) + 1 if elements.size else 1
 
         batch_plan = plan_batches(compact_indptr, max_elements)
-        chunks = [(lo, min(lo + trial_chunk, c))
-                  for lo in range(0, c, trial_chunk)]
+        chunks = trial_chunks(c, trial_chunk)
 
     if batch_plan.n_batches == 1:
         return _single_batch_streaming(
             device, elements, batch_plan.batches[0], chunks, config, kernel,
-            plan, lengths, valid_ids, n_seg)
+            plan, lengths, valid_ids, n_seg, n_values)
     return _multi_batch_accumulate(
         device, elements, batch_plan, chunks, config, kernel, plan,
-        lengths, valid_ids, n_seg)
+        lengths, valid_ids, n_seg, n_values)
 
 
 def _run_chunks(plan: ExecutionPlan, chunks, work) -> None:
@@ -151,17 +156,31 @@ def _single_batch_streaming(
     lengths: np.ndarray,
     valid_ids: np.ndarray,
     n_seg: int,
+    n_values: int,
 ) -> PassResult:
     """The streaming hot path: one resident batch, per-chunk aggregation.
 
     A single batch cannot contain split lists, so every trial chunk's block
     aggregates independently the moment its kernels finish; the full
     ``(c, n, s)`` arrays are never materialized.
+
+    With the ``fused`` kernel (and whenever the packed reduction keys fit in
+    63 bits) the device additionally runs :func:`chunk_reduce` before the
+    transfer: each chunk downloads a compacted distinct-shingle partial —
+    already a :class:`PassResult` in wire form — instead of the raw
+    ``(t, n, s)`` occurrence block, so both the g2c bytes and the CPU
+    aggregation shrink from O(t*n*s) to O(k_chunk*s).
     """
     breakdown = device.breakdown
     s = config.s
     a, b, salts = config.a_array, config.b_array, config.salts
     n_rows = batch.n_segments
+    t_max = max((hi - lo for lo, hi in chunks), default=0)
+    # The single batch is pre-compacted (every row has length >= s, no
+    # sentinel padding), which is exactly what the on-device reduction
+    # requires; the only other gate is the 63-bit key-packing bound.
+    use_reduce = (kernel == KERNEL_FUSED
+                  and reduce_keys_fit(t_max, n_rows, s, n_values))
 
     with breakdown.timing(BUCKET_CPU):
         seg_ids_table = segment_element_ids(batch.local_indptr)
@@ -170,6 +189,25 @@ def _single_batch_streaming(
 
     d_elem = device.upload(batch.slice_elements(elements))
     d_indptr = device.upload(batch.local_indptr)
+    d_gen = (device.upload(valid_ids.astype(np.uint32))
+             if use_reduce else None)
+
+    def run_chunk_reduce(lo: int, hi: int) -> None:
+        fps, members, gen_counts, gens = device.shingle_chunk_reduce(
+            d_elem, d_indptr, d_gen,
+            a=a[lo:hi], b=b[lo:hi], prime=config.prime, s=s,
+            salts=salts[lo:hi], seg_ids=seg_ids_table, n_values=n_values,
+            label=f"trials {lo}-{hi - 1}")
+        with breakdown.timing(BUCKET_CPU):
+            gen_indptr = np.zeros(gen_counts.size + 1, dtype=np.int64)
+            np.cumsum(gen_counts, out=gen_indptr[1:])
+            partial = PassResult(
+                fingerprints=fps,
+                members=members.astype(np.int64),
+                gen_graph=BipartiteCSR(gen_indptr, gens, n_right=n_seg,
+                                       validate=False),
+                n_input_segments=n_seg)
+            aggregator.add(lo, partial)
 
     def run_chunk(lo: int, hi: int) -> None:
         t = hi - lo
@@ -179,6 +217,7 @@ def _single_batch_streaming(
             d_elem, d_indptr,
             a=a[lo:hi], b=b[lo:hi], prime=config.prime, s=s,
             salts=salts[lo:hi], kernel=kernel, seg_ids=seg_ids_table,
+            n_values=n_values,
             out_fps=fps_buf, out_top=top_buf, label=f"trials {lo}-{hi - 1}")
         with breakdown.timing(BUCKET_CPU):
             partial = aggregate_pass(fps_buf, top_buf, lengths, s,
@@ -187,9 +226,11 @@ def _single_batch_streaming(
         host_pool.give(fps_buf, top_buf)
 
     try:
-        _run_chunks(plan, chunks, run_chunk)
+        _run_chunks(plan, chunks,
+                    run_chunk_reduce if use_reduce else run_chunk)
     finally:
-        device.free(d_elem, d_indptr)
+        buffers = [d_elem, d_indptr] + ([d_gen] if d_gen is not None else [])
+        device.free(*buffers)
 
     with breakdown.timing(BUCKET_CPU):
         if aggregator.n_partials == 0:
@@ -212,6 +253,7 @@ def _multi_batch_accumulate(
     lengths: np.ndarray,
     valid_ids: np.ndarray,
     n_seg: int,
+    n_values: int,
 ) -> PassResult:
     """General path: several batches, scatter into pass-level accumulators.
 
@@ -260,6 +302,7 @@ def _multi_batch_accumulate(
                     d_elem, d_indptr,
                     a=a[lo:hi], b=b[lo:hi], prime=config.prime, s=s,
                     salts=salts[lo:hi], kernel=kernel, seg_ids=seg_ids_table,
+                    n_values=n_values,
                     out_fps=fps_b[lo:hi], out_top=top_b[lo:hi],
                     label=f"batch {bi} trials {lo}-{hi - 1}")
 
@@ -281,46 +324,7 @@ def _multi_batch_accumulate(
 
     with breakdown.timing(BUCKET_CPU):
         if split_chunks:
-            _merge_splits_into(fps_all, top_all, split_chunks, s, salts)
+            merge_splits_into(fps_all, top_all, split_chunks, s, salts)
         result = aggregate_pass(fps_all, top_all, lengths, s,
                                 segment_ids=valid_ids, n_segments=n_seg)
     return result
-
-
-def _merge_splits_into(
-    fps_all: np.ndarray,
-    top_all: np.ndarray,
-    split_chunks: dict[int, list[np.ndarray]],
-    s: int,
-    salts: np.ndarray,
-) -> None:
-    """Merge per-chunk top-s candidates of split lists; fix fps in place.
-
-    This is the paper's CPU aggregation step that "will remember this case
-    and merge the different copies of shingles into one correct copy for the
-    split adjacency list".  The global top-``s`` of a list is always
-    contained in the union of its chunks' top-``s`` sets, so sorting the
-    padded candidate block and keeping the first ``s`` recovers it exactly.
-
-    The candidate block is built with a single vectorized scatter: all
-    pieces stack into one ``(c, total_pieces, s)`` array and land at their
-    ``(column, piece)`` coordinates in one indexing operation.
-    """
-    split_ids = np.array(sorted(split_chunks), dtype=np.int64)
-    c = fps_all.shape[0]
-    pieces_per = np.array([len(split_chunks[src]) for src in split_ids.tolist()],
-                          dtype=np.int64)
-    max_pieces = int(pieces_per.max())
-    stacked = np.stack([pairs
-                        for src in split_ids.tolist()
-                        for pairs in split_chunks[src]], axis=1)
-    col_idx = np.repeat(np.arange(split_ids.size, dtype=np.int64), pieces_per)
-    piece_starts = np.cumsum(pieces_per) - pieces_per
-    piece_idx = np.arange(col_idx.size, dtype=np.int64) - np.repeat(piece_starts, pieces_per)
-    block = np.full((c, split_ids.size, max_pieces, s), SENTINEL, dtype=np.uint64)
-    block[:, col_idx, piece_idx, :] = stacked
-    block = block.reshape(c, split_ids.size, max_pieces * s)
-    block.sort(axis=2)
-    merged = block[:, :, :s]
-    top_all[:, split_ids, :] = merged
-    fps_all[:, split_ids] = fingerprints_from_pairs(merged, salts)

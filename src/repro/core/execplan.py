@@ -39,6 +39,18 @@ EXEC_MULTISTREAM = "multistream"
 EXEC_MODES = (EXEC_SYNC, EXEC_PREFETCH, EXEC_MULTISTREAM)
 
 
+def trial_chunks(c: int, trial_chunk: int) -> list[tuple[int, int]]:
+    """Split ``c`` trials into ``[lo, hi)`` chunks of at most ``trial_chunk``.
+
+    The unit of work every execution plan schedules; shared by the driver
+    and by anything that needs to reason about per-chunk shapes (for
+    example the on-device reduction's key-packing bound).
+    """
+    if trial_chunk < 1:
+        raise ValueError("trial_chunk must be >= 1")
+    return [(lo, min(lo + trial_chunk, c)) for lo in range(0, c, trial_chunk)]
+
+
 @dataclass(frozen=True)
 class ExecutionPlan:
     """How one shingling pass schedules its batches and trial chunks.

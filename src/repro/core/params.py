@@ -24,6 +24,9 @@ GROUPING_ONE_SHINGLE = "one_shingle"
 
 KERNEL_SELECT = "select"
 KERNEL_SORT = "sort"
+KERNEL_FUSED = "fused"
+
+KERNELS = (KERNEL_SELECT, KERNEL_SORT, KERNEL_FUSED)
 
 UNION_VECTORIZED = "vectorized"
 UNION_UNIONFIND = "unionfind"
@@ -46,8 +49,10 @@ class ShinglingParams:
         Experiment seed; hash pairs for the two passes are drawn from
         independent streams derived from it.
     kernel:
-        Device selection kernel: ``"select"`` (s-round segmented min) or
-        ``"sort"`` (Thrust-faithful full segmented sort).
+        Device selection kernel: ``"fused"`` (single-launch fused hash+pack
+        over uint32 keys, with on-device dedup reduction where applicable —
+        the default), ``"select"`` (s-round segmented min) or ``"sort"``
+        (Thrust-faithful full segmented sort).  All bit-identical.
     trial_chunk:
         Trials per device kernel round (bounds device working memory).
     exec_mode:
@@ -82,7 +87,7 @@ class ShinglingParams:
     c2: int = 100
     prime: int = DEFAULT_PRIME
     seed: int = 0
-    kernel: str = KERNEL_SELECT
+    kernel: str = KERNEL_FUSED
     trial_chunk: int = 16
     exec_mode: str = EXEC_SYNC
     streams: int = 2
@@ -102,7 +107,7 @@ class ShinglingParams:
             raise ValueError(f"prime={self.prime} is not prime")
         if self.prime > (1 << 31) + (1 << 20):
             raise ValueError("prime too large: products must fit in uint64")
-        if self.kernel not in (KERNEL_SELECT, KERNEL_SORT):
+        if self.kernel not in KERNELS:
             raise ValueError(f"unknown kernel {self.kernel!r}")
         if self.exec_mode not in EXEC_MODES:
             raise ValueError(f"unknown exec_mode {self.exec_mode!r}")

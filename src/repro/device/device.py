@@ -22,6 +22,7 @@ describes.
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -30,6 +31,9 @@ from repro.device import kernels
 from repro.device.memory import DeviceBuffer, DeviceMemory, ScratchPool
 from repro.device.timingmodels import DeviceSpec
 from repro.util.timer import BUCKET_C2G, BUCKET_G2C, BUCKET_GPU, TimeBreakdown
+
+#: Valid values of the ``kernel`` argument of :meth:`SimulatedDevice.shingle_batch`.
+KERNELS = ("select", "sort", "fused")
 
 
 class SimulatedDevice:
@@ -47,10 +51,50 @@ class SimulatedDevice:
         # Recycled kernel working arrays: after the first round of a given
         # batch geometry, kernel launches allocate nothing fresh.
         self.scratch = ScratchPool()
+        # Per-kernel-class launch/element/modeled-second counters, harvested
+        # by profile() (and the --profile CLI flag).
+        self.kernel_stats: dict[str, dict] = {}
+        self._stats_lock = threading.Lock()
 
     def set_breakdown(self, breakdown: TimeBreakdown) -> None:
         """Point timing accumulation at a fresh breakdown (per pipeline run)."""
         self.breakdown = breakdown
+
+    def _record_kernel(self, name: str, n_elements: int, modeled_s: float) -> None:
+        with self._stats_lock:
+            entry = self.kernel_stats.setdefault(
+                name, {"launches": 0, "elements": 0, "modeled_s": 0.0})
+            entry["launches"] += 1
+            entry["elements"] += int(n_elements)
+            entry["modeled_s"] += modeled_s
+
+    def profile(self) -> dict:
+        """Machine-readable breakdown: kernel launches, bytes, pool counters.
+
+        The per-kernel-launch view future perf work reads instead of editing
+        benchmark code: counts and modeled seconds from the device cost
+        model, transfer byte totals, scratch-pool reuse counters, and the
+        measured wall-clock buckets of the attached breakdown.
+        """
+        with self._stats_lock:
+            kernel_stats = {name: dict(entry)
+                            for name, entry in sorted(self.kernel_stats.items())}
+        return {
+            "device": self.spec.name,
+            "kernels": kernel_stats,
+            "transfers": {
+                "bytes_to_device": self.memory.bytes_to_device,
+                "bytes_to_host": self.memory.bytes_to_host,
+                "peak_device_bytes": self.memory.peak_bytes,
+            },
+            "scratch_pool": {
+                "n_allocations": self.scratch.n_allocations,
+                "n_reuses": self.scratch.n_reuses,
+                "bytes_allocated": self.scratch.bytes_allocated,
+            },
+            "measured_buckets_s": {k: round(v, 6)
+                                   for k, v in self.breakdown.as_row().items()},
+        }
 
     # ------------------------------------------------------------------ #
     # Transfers
@@ -132,8 +176,10 @@ class SimulatedDevice:
         salts:
             ``(c,)`` per-trial fingerprint salts.
         kernel:
-            ``"select"`` (s-round segmented min) or ``"sort"`` (full
-            segmented sort, the Thrust-faithful reference).
+            ``"select"`` (s-round segmented min), ``"sort"`` (full segmented
+            sort, the Thrust-faithful reference) or ``"fused"`` (fused
+            hash+pack into one uint32 key buffer; see
+            :func:`repro.device.kernels.fused_hash`).
         trial_chunk:
             Trials per kernel round; bounds the device working set.
 
@@ -146,7 +192,7 @@ class SimulatedDevice:
             shorter than ``s``).  Each trial round's slice was produced on
             the device and downloaded synchronously.
         """
-        if kernel not in ("select", "sort"):
+        if kernel not in KERNELS:
             raise ValueError(f"unknown kernel {kernel!r}")
         if trial_chunk < 1:
             raise ValueError("trial_chunk must be >= 1")
@@ -188,6 +234,7 @@ class SimulatedDevice:
         salts: np.ndarray,
         kernel: str = "select",
         seg_ids: np.ndarray | None = None,
+        n_values: int | None = None,
         out_fps: np.ndarray | None = None,
         out_top: np.ndarray | None = None,
         label: str = "trial chunk",
@@ -202,10 +249,17 @@ class SimulatedDevice:
         streams draw distinct scratch buffers and the breakdown/timeline/
         memory accounting are all lock-protected.
 
+        ``kernel="fused"`` runs the fused hash+pack transform (one uint32
+        key buffer, one launch) and recovers ids/packed pairs from the
+        selected top block via the inverse affine map; ``n_values`` (the
+        exclusive id upper bound, computed once per batch by the driver)
+        sizes its lookup table.  Output is bit-identical to the other
+        kernels.
+
         Returns the ``(fps, top)`` host arrays for trials ``a``/``b``/``salts``
         describe — shapes ``(t, n_seg)`` and ``(t, n_seg, s)``.
         """
-        if kernel not in ("select", "sort"):
+        if kernel not in KERNELS:
             raise ValueError(f"unknown kernel {kernel!r}")
         t = len(a)
         elements = d_elements.device_view()
@@ -213,19 +267,38 @@ class SimulatedDevice:
         n_seg = indptr.size - 1
         nnz = elements.size
         pool = self.scratch
-        select_fn = (kernels.segmented_select_top_s if kernel == "select"
-                     else kernels.segmented_sort_top_s)
-        kernel_class = "sort" if kernel == "sort" else "select"
 
         t0 = time.perf_counter()
-        packed = pool.take((t, nnz), np.uint64)
-        kernels.affine_hash(elements, a, b, prime, out=packed)
-        kernels.pack_pairs(packed, elements, out=packed)
-        d_work = self.memory.adopt(packed)           # working set on device
-        top = pool.take((t, n_seg, s), np.uint64)
-        select_fn(packed, indptr, s, scratch=pool, seg_ids=seg_ids, out=top)
-        top_ids = pool.take((t, n_seg, s), np.uint64)
-        kernels.unpack_ids(top, out=top_ids)
+        if kernel == "fused":
+            keys = pool.take((t, nnz), np.uint32)
+            kernels.fused_hash(elements, a, b, prime, out=keys,
+                               scratch=pool, n_values=n_values)
+            d_work = self.memory.adopt(keys)         # working set on device
+            top32 = pool.take((t, n_seg, s), np.uint32)
+            kernels.segmented_select_top_s(keys, indptr, s, scratch=pool,
+                                           seg_ids=seg_ids, out=top32,
+                                           consume=True)
+            top = pool.take((t, n_seg, s), np.uint64)
+            top_ids = pool.take((t, n_seg, s), np.uint64)
+            kernels.recover_top_ids(top32, a, b, prime, out_ids=top_ids,
+                                    out_packed=top, scratch=pool)
+            small = (keys, top32, top, top_ids)
+            kernel_class = "select"
+            n_transforms = 1
+        else:
+            packed = pool.take((t, nnz), np.uint64)
+            kernels.affine_hash(elements, a, b, prime, out=packed)
+            kernels.pack_pairs(packed, elements, out=packed)
+            d_work = self.memory.adopt(packed)       # working set on device
+            select_fn = (kernels.segmented_select_top_s if kernel == "select"
+                         else kernels.segmented_sort_top_s)
+            top = pool.take((t, n_seg, s), np.uint64)
+            select_fn(packed, indptr, s, scratch=pool, seg_ids=seg_ids, out=top)
+            top_ids = pool.take((t, n_seg, s), np.uint64)
+            kernels.unpack_ids(top, out=top_ids)
+            small = (packed, top, top_ids)
+            kernel_class = "sort" if kernel == "sort" else "select"
+            n_transforms = 2                          # hash launch + pack launch
         fps = pool.take((t, n_seg), np.uint64)
         kernels.fold_fingerprints(
             top_ids, np.asarray(salts, dtype=np.uint64),
@@ -233,14 +306,19 @@ class SimulatedDevice:
         d_top = self.memory.adopt(top)
         d_fps = self.memory.adopt(fps)
         self.breakdown.add(BUCKET_GPU, time.perf_counter() - t0)
-        modeled_gpu = (
-            self.spec.kernels.seconds_for("transform", t * nnz)
-            + self.spec.kernels.seconds_for(
-                kernel_class,
-                kernels.count_kernel_elements(kernel_class, t, nnz, n_seg, s))
-            + self.spec.kernels.seconds_for(
-                "reduce",
-                kernels.count_kernel_elements("reduce", t, nnz, n_seg, s)))
+        transform_s = self.spec.kernels.seconds_for("transform", t * nnz)
+        select_s = self.spec.kernels.seconds_for(
+            kernel_class,
+            kernels.count_kernel_elements(kernel_class, t, nnz, n_seg, s))
+        reduce_s = self.spec.kernels.seconds_for(
+            "reduce",
+            kernels.count_kernel_elements("reduce", t, nnz, n_seg, s))
+        modeled_gpu = n_transforms * transform_s + select_s + reduce_s
+        self._record_kernel("fused_transform" if kernel == "fused" else
+                            "hash+pack_transform",
+                            n_transforms * t * nnz, n_transforms * transform_s)
+        self._record_kernel(f"top_s_{kernel_class}", t * nnz * s, select_s)
+        self._record_kernel("fingerprint_fold", t * n_seg * s, reduce_s)
         self.breakdown.add_modeled(BUCKET_GPU, modeled_gpu)
         if self.timeline is not None:
             self.timeline.record(BUCKET_GPU, label, modeled_gpu)
@@ -255,5 +333,87 @@ class SimulatedDevice:
         else:
             self.download_into(d_fps, out_fps)
         self.free(d_work, d_top, d_fps)
-        pool.give(packed, top, top_ids, fps)
+        pool.give(fps, *small)
         return out_fps, out_top
+
+    def shingle_chunk_reduce(
+        self,
+        d_elements: DeviceBuffer,
+        d_indptr: DeviceBuffer,
+        d_gen_ids: DeviceBuffer,
+        *,
+        a: np.ndarray,
+        b: np.ndarray,
+        prime: int,
+        s: int,
+        salts: np.ndarray,
+        seg_ids: np.ndarray | None = None,
+        n_values: int | None = None,
+        label: str = "trial chunk",
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One fused kernel round with on-device sort-dedup reduction.
+
+        Runs the fused hash + top-``s`` selection like
+        :meth:`shingle_chunk` with ``kernel="fused"``, then
+        :func:`repro.device.kernels.chunk_reduce` on the device: the raw
+        ``(t, n_seg, s)`` occurrence block is sorted and deduplicated
+        *before* transfer, so the host downloads a compacted
+        ``(k_chunk,)``-shaped partial (fingerprint-sorted, with first-
+        occurrence member rows and ready-made generator lists) instead of
+        the dense arrays — cutting g2c bytes from O(t*n*(s+1)*8) to
+        roughly O(t*n*4 + k*(8+4*s+4)).
+
+        Requires pre-compacted input (every segment's length >= s, so no
+        sentinel entries) and ``reduce_keys_fit(t, n_seg, s, n_values)`` —
+        the driver checks both.  ``d_gen_ids`` is the device-resident uint32
+        table mapping columns to original segment ids.
+
+        Returns host arrays ``(fps, members, gen_counts, gens)`` in the
+        wire dtypes of ``chunk_reduce`` (uint64/uint32).
+        """
+        t = len(a)
+        elements = d_elements.device_view()
+        indptr = d_indptr.device_view().astype(np.int64, copy=False)
+        n_seg = indptr.size - 1
+        nnz = elements.size
+        pool = self.scratch
+
+        t0 = time.perf_counter()
+        keys = pool.take((t, nnz), np.uint32)
+        kernels.fused_hash(elements, a, b, prime, out=keys,
+                           scratch=pool, n_values=n_values)
+        d_work = self.memory.adopt(keys)
+        top32 = pool.take((t, n_seg, s), np.uint32)
+        kernels.segmented_select_top_s(keys, indptr, s, scratch=pool,
+                                       seg_ids=seg_ids, out=top32, consume=True)
+        top_ids = pool.take((t, n_seg, s), np.uint64)
+        # Pre-compacted input (driver contract): no sentinel padding exists.
+        kernels.recover_top_ids(top32, a, b, prime, out_ids=top_ids,
+                                scratch=pool, has_sentinels=False)
+        fps, members, gen_counts, gens = kernels.chunk_reduce(
+            top_ids, np.asarray(salts, dtype=np.uint64),
+            d_gen_ids.device_view(), n_values, scratch=pool)
+        d_out = [self.memory.adopt(arr)
+                 for arr in (fps, members, gen_counts, gens)]
+        self.breakdown.add(BUCKET_GPU, time.perf_counter() - t0)
+        transform_s = self.spec.kernels.seconds_for("transform", t * nnz)
+        select_s = self.spec.kernels.seconds_for(
+            "select", kernels.count_kernel_elements("select", t, nnz, n_seg, s))
+        sort_s = self.spec.kernels.seconds_for(
+            "sort", kernels.count_kernel_elements("chunk_reduce", t, nnz, n_seg, s))
+        reduce_s = self.spec.kernels.seconds_for(
+            "reduce", kernels.count_kernel_elements("reduce", t, nnz, n_seg, s))
+        modeled_gpu = transform_s + select_s + sort_s + reduce_s
+        self._record_kernel("fused_transform", t * nnz, transform_s)
+        self._record_kernel("top_s_select", t * nnz * s, select_s)
+        self._record_kernel("chunk_reduce_sort", t * n_seg, sort_s)
+        self._record_kernel("chunk_reduce_fold", t * n_seg * s, reduce_s)
+        self.breakdown.add_modeled(BUCKET_GPU, modeled_gpu)
+        if self.timeline is not None:
+            self.timeline.record(BUCKET_GPU, label, modeled_gpu)
+
+        # The compacted partial is all that crosses the PCIe link.
+        host = tuple(self.download(buf) for buf in d_out)
+        self.free(d_work, *d_out)
+        pool.give(keys, top32, top_ids)
+        return host

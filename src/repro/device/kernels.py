@@ -23,6 +23,18 @@ Kernel inventory
 ``pack_pairs`` / ``unpack_pairs`` / ``unpack_ids``
     Pack (hash, id) into one uint64 so a single segmented min yields both the
     minimum hash and its original element.
+``fused_hash``
+    Fused hash+pack: because the affine map is injective mod P, the uint32
+    hash alone *is* the packed pair — one transform launch writes one
+    ``(T, nnz)`` uint32 key buffer instead of the uint64 hash matrix plus the
+    uint64 packed matrix, and :func:`recover_top_ids` inverts the map on the
+    small top-``s`` block afterwards.
+``chunk_reduce``
+    On-device sort-dedup reduction: groups one trial chunk's ``(t, n)``
+    shingle occurrences by packed ``(trial, member-tuple, column)`` keys so
+    only the ``k`` distinct shingles (fingerprint-sorted, with first-
+    occurrence members and ready-made generator lists) ship back to the
+    host.
 ``segmented_sort_top_s``
     ``thrust::sort`` analogue: stable segmented sort, then take each
     segment's first ``s`` entries.  Reference implementation; the sort is a
@@ -48,6 +60,9 @@ from repro.util.mixhash import fold_fingerprint_array
 
 #: Sentinel marking "no element": larger than any packed (hash, id) pair.
 SENTINEL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Sentinel for the fused uint32 key lane: larger than any hash (< P < 2^32).
+SENTINEL32 = np.uint32(0xFFFFFFFF)
 
 #: Bits reserved for the element id in a packed pair.
 _ID_BITS = np.uint64(32)
@@ -142,6 +157,107 @@ def unpack_ids(packed: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     return out
 
 
+def fused_hash(values: np.ndarray, a: np.ndarray, b: np.ndarray, prime: int,
+               out: np.ndarray | None = None,
+               scratch: ScratchPool | None = None,
+               n_values: int | None = None) -> np.ndarray:
+    """Fused hash+pack: one uint32 key buffer replaces hash + packed matrices.
+
+    The affine map ``h(v) = (a*v + b) mod P`` is injective for ``a`` in
+    ``[1, P)`` and ``v < P``, so within one adjacency list (distinct ids) the
+    hash alone orders exactly like the packed ``(hash, id)`` pair — ties are
+    impossible — and the id is recoverable as ``v = (h - b) * a^{-1} mod P``
+    (:func:`recover_top_ids`).  One ``(T, nnz)`` uint32 pass therefore does
+    the work of :func:`affine_hash` + :func:`pack_pairs` with half the key
+    bytes for the selection kernel.
+
+    When the id range ``n_values`` is smaller than the element buffer, the
+    hash is evaluated once per distinct id into a ``(T, n_values)`` lookup
+    table and gathered (each table row is hit ``nnz / n_values`` times);
+    otherwise the buffer is hashed directly.  Both give identical keys.
+    """
+    v = np.asarray(values)
+    a = np.asarray(a, dtype=np.uint64).reshape(-1, 1)
+    b = np.asarray(b, dtype=np.uint64).reshape(-1, 1)
+    if prime <= 0 or prime > (1 << 31) + (1 << 20):
+        raise ValueError(f"prime {prime} outside supported range")
+    t, nnz = a.shape[0], v.size
+    if out is None:
+        out = np.empty((t, nnz), dtype=np.uint32)
+    if nnz == 0:
+        return out
+    if n_values is None:
+        n_values = int(v.max()) + 1
+    p64 = np.uint64(prime)
+    with np.errstate(over="ignore"):
+        if n_values <= nnz:
+            table64 = _take(scratch, (t, n_values), np.uint64)
+            np.multiply(a, np.arange(n_values, dtype=np.uint64), out=table64)
+            np.add(table64, b, out=table64)
+            np.remainder(table64, p64, out=table64)
+            table32 = _take(scratch, (t, n_values), np.uint32)
+            np.copyto(table32, table64, casting="unsafe")
+            np.take(table32, v, axis=1, out=out, mode="clip")
+            _give(scratch, table64, table32)
+        else:
+            v64 = v.view(np.uint64) if v.dtype == np.int64 else v.astype(np.uint64)
+            h64 = _take(scratch, (t, nnz), np.uint64)
+            np.multiply(a, v64, out=h64)
+            np.add(h64, b, out=h64)
+            np.remainder(h64, p64, out=h64)
+            np.copyto(out, h64, casting="unsafe")
+            _give(scratch, h64)
+    return out
+
+
+def recover_top_ids(top_keys: np.ndarray, a: np.ndarray, b: np.ndarray,
+                    prime: int, out_ids: np.ndarray | None = None,
+                    out_packed: np.ndarray | None = None,
+                    scratch: ScratchPool | None = None,
+                    has_sentinels: bool = True) -> tuple[np.ndarray, np.ndarray | None]:
+    """Invert the fused hash on a top-``s`` block: keys -> ids (and pairs).
+
+    ``d = (h + P - b) mod P``; ``v = d * a^{-1} mod P`` — the inverse exists
+    because P is prime and ``0 < a < P``.  Runs only on the small
+    ``(t, n_seg, s)`` selection output, not the ``(t, nnz)`` element buffer.
+    ``SENTINEL32`` keys map to id ``0xFFFFFFFF``, so the rebuilt packed pair
+    (``hash << 32 | id``, written to ``out_packed`` when given) is exactly
+    ``SENTINEL`` — bit-identical to the unfused pipeline's padding.
+
+    Callers that guarantee a fully-compacted block (every segment has at
+    least ``s`` elements, so no padding exists) pass
+    ``has_sentinels=False`` to skip the sentinel mask-and-patch passes.
+    """
+    top_keys = np.asarray(top_keys, dtype=np.uint32)
+    t = np.asarray(a).shape[0]
+    a_inv = np.array([pow(int(x), prime - 2, prime)
+                      for x in np.asarray(a).reshape(-1).tolist()],
+                     dtype=np.uint64).reshape((t,) + (1,) * (top_keys.ndim - 1))
+    b_neg = ((prime - np.asarray(b, dtype=np.int64)) % prime).astype(
+        np.uint64).reshape(a_inv.shape)
+    p64 = np.uint64(prime)
+    if out_ids is None:
+        out_ids = np.empty(top_keys.shape, dtype=np.uint64)
+    if has_sentinels:
+        mask = _take(scratch, top_keys.shape, np.bool_)
+        np.equal(top_keys, SENTINEL32, out=mask)
+    np.copyto(out_ids, top_keys, casting="unsafe")
+    with np.errstate(over="ignore"):
+        np.add(out_ids, b_neg, out=out_ids)
+        np.remainder(out_ids, p64, out=out_ids)
+        np.multiply(out_ids, a_inv, out=out_ids)
+        np.remainder(out_ids, p64, out=out_ids)
+    if has_sentinels:
+        np.copyto(out_ids, _ID_MASK, where=mask)
+    if out_packed is not None:
+        np.copyto(out_packed, top_keys, casting="unsafe")
+        np.left_shift(out_packed, _ID_BITS, out=out_packed)
+        np.bitwise_or(out_packed, out_ids, out=out_packed)
+    if has_sentinels:
+        _give(scratch, mask)
+    return out_ids, out_packed
+
+
 def segment_element_ids(indptr: np.ndarray) -> np.ndarray:
     """Segment id of every element position (``[0,0,..,1,1,..]``).
 
@@ -173,13 +289,16 @@ def _segment_geometry(indptr: np.ndarray, nnz: int) -> tuple[np.ndarray, np.ndar
 def segmented_select_top_s(packed: np.ndarray, indptr: np.ndarray, s: int,
                            scratch: ScratchPool | None = None,
                            seg_ids: np.ndarray | None = None,
-                           out: np.ndarray | None = None) -> np.ndarray:
-    """Top-``s`` smallest packed pairs per segment via s rounds of segmented min.
+                           out: np.ndarray | None = None,
+                           consume: bool = False) -> np.ndarray:
+    """Top-``s`` smallest keys per segment via s rounds of segmented min.
 
     Parameters
     ----------
     packed:
-        ``(T, nnz)`` packed pairs (one row per trial).  Not modified.
+        ``(T, nnz)`` keys, one row per trial — uint64 packed pairs or the
+        fused kernel's uint32 hashes (any other dtype is cast to uint64).
+        Not modified unless ``consume`` is set.
     indptr:
         ``(n_seg + 1,)`` segment boundaries within each row.
     s:
@@ -191,41 +310,53 @@ def segmented_select_top_s(packed: np.ndarray, indptr: np.ndarray, s: int,
     seg_ids:
         Optional precomputed :func:`segment_element_ids` of ``indptr``.
     out:
-        Optional ``(T, n_seg, s)`` uint64 destination.
+        Optional ``(T, n_seg, s)`` destination matching ``packed``'s dtype.
+    consume:
+        Destroy ``packed`` in place instead of working on a copy — the fused
+        path sets this because its key buffer is not needed afterwards,
+        skipping one full ``(T, nnz)`` copy per round.
 
     Returns
     -------
     np.ndarray
-        ``(T, n_seg, s)`` uint64; position ``[t, i, r]`` holds the r-th
-        smallest pair of segment ``i`` under trial ``t``, or ``SENTINEL``
-        when the segment has fewer than ``r+1`` elements.
+        ``(T, n_seg, s)``; position ``[t, i, r]`` holds the r-th smallest
+        key of segment ``i`` under trial ``t``, or the dtype's all-ones
+        sentinel when the segment has fewer than ``r+1`` elements.
     """
-    packed = np.array(packed, dtype=np.uint64, ndmin=2, copy=False)
+    packed = np.asarray(packed)
+    if packed.dtype not in (np.dtype(np.uint32), np.dtype(np.uint64)):
+        packed = packed.astype(np.uint64)
+    if packed.ndim == 1:
+        packed = packed[np.newaxis, :]
+    sentinel = packed.dtype.type(np.iinfo(packed.dtype).max)
     n_trials, nnz = packed.shape
     starts, lengths, empty = _segment_geometry(indptr, nnz)
     n_seg = lengths.size
     if out is None:
-        out = np.empty((n_trials, n_seg, s), dtype=np.uint64)
-    out[...] = SENTINEL
+        out = np.empty((n_trials, n_seg, s), dtype=packed.dtype)
+    out[...] = sentinel
     if nnz == 0 or n_seg == 0:
         return out
     # Trailing empty segments have start == nnz (invalid for reduceat);
     # they are a suffix, so reduce over the valid prefix only.
     n_valid = int(np.searchsorted(starts, nnz, side="left"))
-    work = _take(scratch, (n_trials, nnz), np.uint64)
-    np.copyto(work, packed)
-    segmin = _take(scratch, (n_trials, n_seg), np.uint64)
+    if consume:
+        work = packed
+    else:
+        work = _take(scratch, (n_trials, nnz), packed.dtype)
+        np.copyto(work, packed)
+    segmin = _take(scratch, (n_trials, n_seg), packed.dtype)
     if s > 1:
         if seg_ids is None:
             seg_ids = segment_element_ids(indptr)
-        expanded = _take(scratch, (n_trials, nnz), np.uint64)
+        expanded = _take(scratch, (n_trials, nnz), packed.dtype)
         mask = _take(scratch, (n_trials, nnz), np.bool_)
     for r in range(s):
         np.minimum.reduceat(work, starts[:n_valid], axis=1,
                             out=segmin[:, :n_valid])
         if n_valid < n_seg:
-            segmin[:, n_valid:] = SENTINEL
-        segmin[:, empty] = SENTINEL
+            segmin[:, n_valid:] = sentinel
+        segmin[:, empty] = sentinel
         out[:, :, r] = segmin
         if r + 1 == s:
             break
@@ -234,8 +365,10 @@ def segmented_select_top_s(packed: np.ndarray, indptr: np.ndarray, s: int,
         # construction; "raise" would fall back to a slow checked loop).
         np.take(segmin, seg_ids, axis=1, out=expanded, mode="clip")
         np.equal(work, expanded, out=mask)
-        np.copyto(work, SENTINEL, where=mask)
-    _give(scratch, work, segmin)
+        np.copyto(work, sentinel, where=mask)
+    if not consume:
+        _give(scratch, work)
+    _give(scratch, segmin)
     if s > 1:
         _give(scratch, expanded, mask)
     return out
@@ -317,14 +450,172 @@ def fold_fingerprints(top_ids: np.ndarray, salts: np.ndarray,
     return fold_fingerprint_array(top_ids, salts, scratch=scratch, out=out)
 
 
+def reduce_keys_fit(n_trials: int, n_seg: int, s: int, n_values: int) -> bool:
+    """True when :func:`chunk_reduce`'s packed key fits 63 bits.
+
+    The key is ``(trial * n_values**s + member_tuple) * n_seg + column``;
+    evaluated in exact Python integers so enormous ``n_values**s`` cannot
+    overflow the check itself.
+    """
+    if n_values < 1:
+        return False
+    return n_trials * (n_values ** s) * max(n_seg, 1) < (1 << 63)
+
+
+def chunk_reduce(top_ids: np.ndarray, salts: np.ndarray, gen_ids: np.ndarray,
+                 n_values: int, scratch: ScratchPool | None = None,
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """On-device sort-dedup of one trial chunk's shingle occurrences.
+
+    Groups the ``(t, n)`` occurrences by their identity — the ordered member
+    tuple within a trial — using one packed-key quicksort (the ``uint64``
+    key packs trial, base-``n_values`` member tuple, and column), mirroring
+    the packed-key technique of the host-side generator sort.  Because the
+    column occupies the low bits, equal-identity runs come out contiguous
+    AND ascending by column without needing a stable sort, so the first
+    element of each run is the first occurrence and each run's column list
+    is already the sorted, duplicate-free generator list.  Fingerprints are
+    folded only for the ``k`` distinct shingles.
+
+    The caller must guarantee :func:`reduce_keys_fit` and that ``top_ids``
+    contains no sentinel entries (all segments have length >= s — the device
+    driver pre-compacts inputs this way).
+
+    Parameters
+    ----------
+    top_ids:
+        ``(t, n, s)`` uint64 member ids in min-hash order.
+    salts:
+        ``(t,)`` uint64 per-trial fingerprint salts.
+    gen_ids:
+        ``(n,)`` original segment id of each column, monotone increasing
+        (the driver's ``valid_ids`` table, device-resident).
+    n_values:
+        Exclusive upper bound on member ids (the tuple-key base).
+
+    Returns
+    -------
+    (fps, members, gen_counts, gens):
+        ``fps`` — ``(k,)`` uint64, strictly ascending; ``members`` —
+        ``(k, s)`` uint32 first-occurrence member rows; ``gen_counts`` —
+        ``(k,)`` uint32 generator-list lengths; ``gens`` — concatenated
+        uint32 generator lists in ``fps`` order (``t*n`` entries total).
+        Exactly what host-side ``aggregate_pass`` would distill from the
+        dense ``(t, n)`` arrays, at O(k) download size.
+    """
+    top_ids = np.asarray(top_ids, dtype=np.uint64)
+    salts = np.asarray(salts, dtype=np.uint64)
+    gen_ids = np.asarray(gen_ids)
+    t, n, s = top_ids.shape
+    total = t * n
+    if total == 0:
+        return (np.empty(0, dtype=np.uint64), np.empty((0, s), dtype=np.uint32),
+                np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.uint32))
+    m_pow_s = np.uint64(n_values ** s)
+    n64 = np.uint64(n)
+    key = _take(scratch, (t, n), np.uint64)
+    np.copyto(key, top_ids[..., 0])
+    with np.errstate(over="ignore"):
+        for j in range(1, s):
+            np.multiply(key, np.uint64(n_values), out=key)
+            np.add(key, top_ids[..., j], out=key)
+        np.add(key, (np.arange(t, dtype=np.uint64) * m_pow_s).reshape(t, 1),
+               out=key)
+        np.multiply(key, n64, out=key)
+        np.add(key, np.arange(n, dtype=np.uint64), out=key)
+    skey = key.reshape(total)
+    skey.sort(kind="quicksort")
+
+    # Run boundaries: adjacent positions with a different (trial, tuple) part.
+    gkey_buf = _take(scratch, (t, n), np.uint64)
+    gkey = gkey_buf.reshape(total)
+    np.floor_divide(skey, n64, out=gkey)
+    is_start = np.empty(total, dtype=bool)
+    is_start[0] = True
+    np.not_equal(gkey[1:], gkey[:-1], out=is_start[1:])
+    run_start = np.flatnonzero(is_start)
+    k = run_start.size
+    counts = np.empty(k, dtype=np.int64)
+    np.subtract(run_start[1:], run_start[:-1], out=counts[:-1])
+    counts[-1] = total - run_start[-1]
+
+    # First occurrence of each run = its smallest column (low key bits).
+    start_keys = skey[run_start]
+    col = (start_keys % n64).astype(np.int64)
+    trial = (gkey[run_start] // m_pow_s).astype(np.int64)
+    flatpos = trial * n + col
+    members = top_ids.reshape(total, s)[flatpos]
+    fps = fold_fingerprint_array(members, salts[trial])
+
+    # Column -> generator id for every occurrence, still in key order (runs
+    # contiguous, columns ascending within each run).
+    np.remainder(skey, n64, out=gkey)
+    gens_all = np.asarray(gen_ids, dtype=np.uint32)[gkey]
+
+    order = np.argsort(fps, kind="quicksort")
+    fps_sorted = fps[order]
+    counts_o = counts[order]
+    # Reorder the runs of gens_all to fingerprint order with ONE repeat:
+    # position j inside fp-ordered run r maps to run_start[order][r] + rank,
+    # and rank == j - (fp-ordered run offset), so the gather index is just
+    # j plus a per-run shift broadcast over the run.
+    shift = run_start[order]
+    np.subtract(shift, np.cumsum(counts_o), out=shift)
+    np.add(shift, counts_o, out=shift)
+    positions = np.repeat(shift, counts_o)
+    positions += np.arange(total, dtype=np.int64)
+    gens = gens_all[positions]
+    members_o = members[order].astype(np.uint32)
+    _give(scratch, key, gkey_buf)
+
+    if k > 1 and np.any(fps_sorted[1:] == fps_sorted[:-1]):
+        # Cross-trial (or cross-tuple) fingerprint collision within the
+        # chunk — astronomically rare.  Merge the colliding runs exactly as
+        # the dense np.unique path would: first occurrence in trial-major
+        # order wins the member row; generator lists union.
+        return _merge_fp_collisions(fps_sorted, members_o, counts_o, gens,
+                                    flatpos[order])
+    return fps_sorted, members_o, counts_o.astype(np.uint32), gens
+
+
+def _merge_fp_collisions(fps: np.ndarray, members: np.ndarray,
+                         counts: np.ndarray, gens: np.ndarray,
+                         flatpos: np.ndarray
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse adjacent equal-fingerprint runs (cold path, k-sized)."""
+    k = fps.size
+    is_new = np.empty(k, dtype=bool)
+    is_new[0] = True
+    np.not_equal(fps[1:], fps[:-1], out=is_new[1:])
+    group = np.cumsum(is_new) - 1
+    n_groups = int(group[-1]) + 1
+    # Representative row per group: the globally-first occurrence.
+    rep_order = np.lexsort((flatpos, group))
+    reps = rep_order[np.searchsorted(group[rep_order], np.arange(n_groups))]
+    # Union the generator lists with one packed-key sort + dedup.
+    entry_groups = np.repeat(group, counts).astype(np.uint64)
+    keys = (entry_groups << _ID_BITS) | gens.astype(np.uint64)
+    keys.sort()
+    keep = np.empty(keys.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+    kept = keys[keep]
+    gen_counts = np.bincount((kept >> _ID_BITS).astype(np.int64),
+                             minlength=n_groups).astype(np.uint32)
+    return (fps[is_new], members[reps], gen_counts,
+            (kept & _ID_MASK).astype(np.uint32))
+
+
 def count_kernel_elements(kernel: str, n_trials: int, nnz: int, n_seg: int, s: int) -> int:
     """Element counts fed to the kernel cost model, per kernel class."""
     if kernel == "transform":
         return n_trials * nnz
     if kernel == "sort":
         return n_trials * nnz
-    if kernel == "select":
+    if kernel in ("select", "fused"):
         return n_trials * nnz * s
     if kernel == "reduce":
         return n_trials * n_seg * s
+    if kernel == "chunk_reduce":
+        return n_trials * n_seg
     raise ValueError(f"unknown kernel class {kernel!r}")

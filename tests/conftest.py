@@ -5,9 +5,18 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.aggregate import set_debug_checks
 from repro.core.params import ShinglingParams
 from repro.graph.csr import CSRGraph
 from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
+
+
+@pytest.fixture(autouse=True)
+def _force_debug_checks():
+    """Debug-mode sanity checks are off by default; the suite always runs them."""
+    previous = set_debug_checks(True)
+    yield
+    set_debug_checks(previous)
 
 
 @pytest.fixture(scope="session")

@@ -125,3 +125,38 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["cluster", str(bench_files.with_suffix(".npz")),
                   "--kernel", "bubble"])
+
+
+class TestProfileFlag:
+    def test_profile_to_stdout(self, bench_files, capsys):
+        import json
+
+        assert main(["cluster", str(bench_files.with_suffix(".npz")),
+                     "--c1", "10", "--c2", "5", "--profile"]) == 0
+        out = capsys.readouterr().out
+        start = out.index("{")
+        end = out.rindex("}") + 1
+        prof = json.loads(out[start:end])
+        assert "kernels" in prof and "transfers" in prof
+        assert "scratch_pool" in prof
+        assert any(v["launches"] > 0 for v in prof["kernels"].values())
+
+    def test_profile_to_file(self, bench_files, tmp_path):
+        import json
+
+        path = tmp_path / "profile.json"
+        assert main(["cluster", str(bench_files.with_suffix(".npz")),
+                     "--c1", "10", "--c2", "5", "--profile", str(path)]) == 0
+        prof = json.loads(path.read_text())
+        assert prof["transfers"]["bytes_to_host"] > 0
+
+    def test_kernel_fused_accepted(self, bench_files, tmp_path):
+        out_f = tmp_path / "f.npz"
+        out_s = tmp_path / "s.npz"
+        graph_path = str(bench_files.with_suffix(".npz"))
+        assert main(["cluster", graph_path, "--out", str(out_f),
+                     "--c1", "10", "--c2", "5", "--kernel", "fused"]) == 0
+        assert main(["cluster", graph_path, "--out", str(out_s),
+                     "--c1", "10", "--c2", "5", "--kernel", "select"]) == 0
+        with np.load(out_f) as a, np.load(out_s) as b:
+            assert np.array_equal(a["labels"], b["labels"])

@@ -111,3 +111,61 @@ class TestAggregatePass:
         top = np.full((1, 1, 2), SENTINEL, dtype=np.uint64)
         with pytest.raises(AssertionError):
             aggregate_pass(fps, top, np.array([5]), s=2)
+
+
+class TestDebugChecksGate:
+    def test_default_off_outside_suite(self):
+        from repro.core.aggregate import set_debug_checks
+
+        prev = set_debug_checks(False)
+        try:
+            # With checks off, the contract violation passes through silently
+            # (the hot path no longer pays the O(k*s) scan).
+            fps = np.array([[1]], dtype=np.uint64)
+            top = np.full((1, 1, 2), SENTINEL, dtype=np.uint64)
+            lengths = np.array([2], dtype=np.int64)
+            aggregate_pass(fps, top, lengths, 2)  # must not raise
+        finally:
+            set_debug_checks(prev)
+        assert prev is True  # the suite force-enables checks
+
+    def test_toggle_returns_previous(self):
+        from repro.core.aggregate import debug_checks_enabled, set_debug_checks
+
+        prev = set_debug_checks(False)
+        assert debug_checks_enabled() is False
+        assert set_debug_checks(prev) is False
+        assert debug_checks_enabled() is prev
+
+
+class TestSharedSplitMerge:
+    def test_merge_splits_into_matches_merge_split_pairs(self):
+        """The two historical call signatures share one merge core."""
+        from repro.core.aggregate import merge_splits_into
+
+        rng = np.random.default_rng(6)
+        c, s = 3, 2
+        chunks = [
+            (rng.integers(0, 1 << 40, size=(c, 1, s)).astype(np.uint64))
+            for _ in range(3)
+        ]
+        for chunk in chunks:
+            chunk.sort(axis=2)
+        expected = merge_split_pairs([ch.copy() for ch in chunks], s)
+
+        salts = rng.integers(0, 1 << 60, size=c).astype(np.uint64)
+        fps_all = np.zeros((c, 4), dtype=np.uint64)
+        top_all = np.full((c, 4, s), SENTINEL, dtype=np.uint64)
+        merge_splits_into(fps_all, top_all,
+                          {2: [ch[:, 0, :] for ch in chunks]}, s, salts)
+        assert np.array_equal(top_all[:, 2, :], expected[:, 0, :])
+        assert np.array_equal(fps_all[:, 2],
+                              fingerprints_from_pairs(expected, salts)[:, 0])
+
+    def test_merge_candidate_pairs_truncates_in_place(self):
+        from repro.core.aggregate import merge_candidate_pairs
+
+        block = np.array([[5, 1, 9, 3]], dtype=np.uint64)
+        out = merge_candidate_pairs(block, 2)
+        assert np.array_equal(out, [[1, 3]])
+        assert np.array_equal(block, [[1, 3, 5, 9]])  # sorted in place

@@ -119,3 +119,95 @@ class TestShingleBatch:
         device.set_breakdown(fresh)
         device.upload(np.zeros(10))
         assert fresh.get(BUCKET_C2G) > 0
+
+
+class TestFusedKernelFacade:
+    def test_fused_identical_to_select(self, device):
+        runner = TestShingleBatch()
+        lists = [[10, 20, 30], [7, 8, 9, 11], [1], [2, 4, 6, 8, 10]]
+        _, fps_a, top_a = runner._run(device, lists, kernel="select")
+        _, fps_b, top_b = runner._run(device, lists, kernel="fused")
+        assert np.array_equal(fps_a, fps_b)
+        assert np.array_equal(top_a, top_b)
+
+    def test_fused_short_segments_sentinel(self, device):
+        runner = TestShingleBatch()
+        _, _, top = runner._run(device, [[4]], s=3, kernel="fused")
+        assert top[0, 0, 0] != SENTINEL
+        assert top[0, 0, 1] == SENTINEL
+
+    def test_kernel_stats_recorded(self, device):
+        runner = TestShingleBatch()
+        runner._run(device, [[1, 2, 3], [4, 5, 6]], kernel="fused")
+        prof = device.profile()
+        assert "fused_transform" in prof["kernels"]
+        assert prof["kernels"]["fused_transform"]["launches"] > 0
+        assert prof["transfers"]["bytes_to_device"] > 0
+        assert "scratch_pool" in prof
+
+    def test_fused_charges_one_transform(self):
+        """The cost model bills fused as ONE launch where hash+pack is two."""
+        spec = DeviceSpec(memory_capacity_bytes=16 * 2**20)
+        runner = TestShingleBatch()
+        lists = [[1, 2, 3, 4], [5, 6, 7]]
+        dev_a, dev_b = SimulatedDevice(spec), SimulatedDevice(spec)
+        runner._run(dev_a, lists, kernel="select")
+        runner._run(dev_b, lists, kernel="fused")
+        unfused = dev_a.profile()["kernels"]["hash+pack_transform"]
+        fused = dev_b.profile()["kernels"]["fused_transform"]
+        assert unfused["elements"] == 2 * fused["elements"]
+        assert unfused["modeled_s"] > fused["modeled_s"]
+
+
+class TestShingleChunkReduce:
+    def _run_reduce(self, device, lists, s=2, c=6):
+        from repro.device.kernels import segment_element_ids
+
+        params = ShinglingParams(s1=s, c1=c, s2=s, c2=c, seed=4)
+        cfg = params.pass_config(1)
+        indptr = np.zeros(len(lists) + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum([len(x) for x in lists])
+        flat = np.concatenate([np.asarray(x, dtype=np.int64) for x in lists])
+        d_elem = device.upload(flat)
+        d_ind = device.upload(indptr)
+        d_gen = device.upload(np.arange(len(lists), dtype=np.uint32))
+        out = device.shingle_chunk_reduce(
+            d_elem, d_ind, d_gen, a=cfg.a_array, b=cfg.b_array,
+            prime=cfg.prime, s=s, salts=cfg.salts,
+            seg_ids=segment_element_ids(indptr),
+            n_values=int(flat.max()) + 1)
+        device.free(d_elem, d_ind, d_gen)
+        return cfg, out
+
+    def test_matches_dense_aggregation(self, device):
+        from repro.core.aggregate import aggregate_pass
+
+        # all lists valid (length >= s): the reduce path's precondition
+        lists = [[3, 9, 14, 2], [5, 6], [1, 2, 3, 4, 5, 6, 7], [9, 14]]
+        other = SimulatedDevice(DeviceSpec(memory_capacity_bytes=16 * 2**20))
+        runner = TestShingleBatch()
+        _, fps_dense, top_dense = runner._run(other, lists, kernel="select",
+                                              trial_chunk=6)
+        ref = aggregate_pass(fps_dense, top_dense,
+                             np.array([len(x) for x in lists]), 2)
+        cfg, (fps, members, counts, gens) = self._run_reduce(device, lists)
+        assert np.array_equal(fps, ref.fingerprints)
+        assert np.array_equal(members.astype(np.int64), ref.members)
+        assert np.array_equal(gens.astype(np.int64), ref.gen_graph.indices)
+        assert np.array_equal(np.cumsum(counts), ref.gen_graph.indptr[1:])
+
+    def test_compacted_transfer_is_smaller(self):
+        """The reduce path must ship fewer g2c bytes than the dense path."""
+        spec = DeviceSpec(memory_capacity_bytes=16 * 2**20)
+        lists = [list(range(i, i + 5)) for i in range(30)]
+        dense_dev, reduce_dev = SimulatedDevice(spec), SimulatedDevice(spec)
+        runner = TestShingleBatch()
+        runner._run(dense_dev, lists, kernel="select", trial_chunk=6)
+        self._run_reduce(reduce_dev, lists)
+        assert (reduce_dev.memory.bytes_to_host
+                < dense_dev.memory.bytes_to_host)
+
+    def test_reduce_memory_released(self, device):
+        before = device.memory.used_bytes
+        self._run_reduce(device, [[1, 2, 3], [4, 5, 6]])
+        assert device.memory.used_bytes == before
