@@ -1,17 +1,25 @@
 #!/usr/bin/env python
-"""CI perf guard: fail when the smoke bench regresses past tolerance.
+"""CI perf guard: fail when a smoke bench regresses past tolerance.
 
-Diffs a freshly-measured ``benchmarks/results/table1_runtime.json`` against
-the committed per-PR reference (``BENCH_PR2.json``) and exits non-zero when
-any workload's warm total time regresses by more than the tolerance
-(default 15%).  Warm timings on shared CI runners are noisy, which is why
-the guard is tolerance-based rather than exact; improvements never fail.
+Diffs a freshly-measured benchmark JSON (``workloads`` mapping under
+``benchmarks/results/``) against a committed per-PR reference and exits
+non-zero when any workload's warm total time regresses by more than the
+tolerance (default 15%).  Warm timings on shared CI runners are noisy,
+which is why the guard is tolerance-based rather than exact; improvements
+never fail.
+
+``--reference-key`` selects which mapping of the reference file holds the
+guarded rows: ``table1_rows`` (clustering bench vs BENCH_PR2.json) or
+``homology_rows`` (homology-construction bench vs BENCH_PR3.json).
 
 Usage::
 
     python scripts/check_perf_guard.py \
         --measured benchmarks/results/table1_runtime.json \
         --reference BENCH_PR2.json [--tolerance 0.15]
+    python scripts/check_perf_guard.py \
+        --measured benchmarks/results/homology_runtime.json \
+        --reference BENCH_PR3.json --reference-key homology_rows
 """
 
 from __future__ import annotations
@@ -22,10 +30,11 @@ import sys
 from pathlib import Path
 
 
-def check(measured: dict, reference: dict, tolerance: float) -> list[str]:
+def check(measured: dict, reference: dict, tolerance: float,
+          reference_key: str = "table1_rows") -> list[str]:
     """Return a list of failure messages (empty == pass)."""
     failures = []
-    ref_rows = reference["table1_rows"]
+    ref_rows = reference[reference_key]
     got_rows = measured["workloads"]
     for name, ref in sorted(ref_rows.items()):
         if name not in got_rows:
@@ -51,13 +60,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="fresh bench JSON (written by the smoke bench)")
     parser.add_argument("--reference", default="BENCH_PR2.json",
                         help="committed reference JSON")
+    parser.add_argument("--reference-key", default="table1_rows",
+                        help="mapping in the reference file holding the "
+                             "guarded rows (table1_rows, homology_rows)")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed fractional total-time regression")
     args = parser.parse_args(argv)
 
     measured = json.loads(Path(args.measured).read_text())
     reference = json.loads(Path(args.reference).read_text())
-    failures = check(measured, reference, args.tolerance)
+    failures = check(measured, reference, args.tolerance,
+                     reference_key=args.reference_key)
     if failures:
         print("\nPERF GUARD FAILED:", file=sys.stderr)
         for line in failures:

@@ -187,12 +187,33 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     homology = build_homology_graph(
         sequences,
         HomologyConfig(pair_filter=args.pair_filter,
-                       min_normalized_score=args.min_score))
+                       min_normalized_score=args.min_score,
+                       n_jobs=args.jobs))
     print(f"homology: {homology.n_candidate_pairs} candidate pairs -> "
           f"{homology.n_edges} edges")
 
     params = _params_from_args(args)
-    result = cluster_graph(homology.graph, params, backend=args.backend)
+    if args.profile is not None and args.backend == "device":
+        import json
+
+        from repro.core.pipeline import GpClust
+        from repro.device.device import SimulatedDevice
+
+        device = SimulatedDevice()
+        result = GpClust(params).run(homology.graph, device=device)
+        profile = {"homology": homology.timings.as_dict(),
+                   "device": device.profile()}
+        report = json.dumps(profile, indent=2, sort_keys=True)
+        if args.profile == "-":
+            print(report)
+        else:
+            Path(args.profile).write_text(report + "\n")
+            print(f"profile written to {args.profile}")
+    else:
+        if args.profile is not None:
+            print("--profile requires --backend device; ignoring",
+                  file=sys.stderr)
+        result = cluster_graph(homology.graph, params, backend=args.backend)
     clusters = result.clusters(min_size=args.min_size)
     rows = []
     for i, members in enumerate(sorted(clusters, key=len, reverse=True)):
@@ -263,6 +284,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="smallest cluster to report")
     p_pipe.add_argument("--backend", choices=["device", "serial"],
                         default="device")
+    p_pipe.add_argument("--jobs", type=int, default=1,
+                        help="alignment worker processes for homology-graph "
+                             "construction (0 = all cores; results are "
+                             "identical for any value)")
+    p_pipe.add_argument("--profile", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="emit a JSON timing breakdown covering both "
+                             "stages: homology per-stage wall clock (seed "
+                             "filter / self-scores / alignment / graph "
+                             "build) and the device kernel profile")
     p_pipe.add_argument("--out", help="write labels to this .npz")
     _add_param_args(p_pipe)
     p_pipe.set_defaults(func=cmd_pipeline)

@@ -8,6 +8,7 @@ score the result against the family ground truth.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,7 +36,7 @@ class EndToEndReport:
     density_std: float
 
     def summary(self) -> dict:
-        return {
+        out = {
             "n_sequences": self.protein_set.n_sequences,
             "n_candidate_pairs": self.homology.n_candidate_pairs,
             "n_edges": self.homology.n_edges,
@@ -45,6 +46,9 @@ class EndToEndReport:
             "density": self.density_mean,
             "seconds": self.clustering.timings.total,
         }
+        if self.homology.timings is not None:
+            out["homology_seconds"] = self.homology.timings.total_s
+        return out
 
 
 def run_end_to_end(
@@ -55,17 +59,22 @@ def run_end_to_end(
     device_spec: DeviceSpec | None = None,
     min_cluster_size: int = 3,
     seed: int = 0,
+    n_jobs: int | None = None,
 ) -> EndToEndReport:
     """Run the full pipeline; every stage is replaceable via its config.
 
     ``min_cluster_size`` is the reporting filter for quality scoring — the
     paper uses 20 on its 2M-sequence data; synthetic sets here are smaller,
-    so the default is 3.
+    so the default is 3.  ``n_jobs`` (when given) overrides the homology
+    config's alignment worker count; the result is identical either way.
     """
     if protein_set is None:
         protein_set = generate_protein_families(sequence_config, seed=seed)
     if params is None:
         params = ShinglingParams(c1=60, c2=30, seed=seed)
+    if n_jobs is not None:
+        homology_config = dataclasses.replace(
+            homology_config or HomologyConfig(), n_jobs=n_jobs)
 
     homology = build_homology_graph(protein_set.sequences, homology_config)
     clustering = GpClust(params, device_spec).run(homology.graph)

@@ -99,6 +99,31 @@ def make_quality_workload(scale: str | None = None,
         PlantedFamilyConfig(n_families=n_families), seed=seed)
 
 
+def make_homology_workload(scale: str | None = None, seed: int = 101,
+                           n_jobs: int = 1):
+    """Sequence set + config for the homology-graph-construction benchmark.
+
+    This is the pGraph-stage analogue of the runtime workloads above: a
+    synthetic protein set sized so the alignment stage dominates (as it
+    does in pGraph), with the worker count threaded into the config.
+
+    Returns ``(protein_set, homology_config)``.
+    """
+    from repro.sequence.generator import (SequenceFamilyConfig,
+                                          generate_protein_families)
+    from repro.sequence.homology import HomologyConfig
+
+    scale = scale or get_scale()
+    if scale == SCALE_PAPER:
+        seq_config = SequenceFamilyConfig(n_families=48,
+                                          family_size_median=20.0)
+    else:
+        seq_config = SequenceFamilyConfig(n_families=24,
+                                          family_size_median=16.0)
+    protein_set = generate_protein_families(seq_config, seed=seed)
+    return protein_set, HomologyConfig(n_jobs=n_jobs)
+
+
 def make_large_workload(scale: str | None = None, seed: int = 7) -> CSRGraph:
     """The large-scale demo graph (the 11M/640M analogue), R-MAT."""
     scale = scale or get_scale()

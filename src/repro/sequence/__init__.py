@@ -14,19 +14,29 @@ implements the full equivalent pipeline from scratch:
 * a synthetic protein-family generator — ancestral sequences, divergence by
   substitution/indel, optional shotgun-style fragmenting
   (:mod:`repro.sequence.generator`);
-* Smith-Waterman local alignment: a scalar affine-gap reference and a
-  batched anti-diagonal vectorized implementation
-  (:mod:`repro.sequence.smith_waterman`);
+* Smith-Waterman local alignment: scalar references and batched row-scan
+  vectorized implementations (:mod:`repro.sequence.smith_waterman`);
 * a k-mer seed filter standing in for pGraph's suffix-tree maximal-match
-  pair generation (:mod:`repro.sequence.kmer_filter`);
-* homology-graph construction tying it together
+  pair generation (:mod:`repro.sequence.kmer_filter`), sharing its
+  group-to-pairs expansion with the suffix-array filter
+  (:mod:`repro.sequence.pairs`);
+* a shared-memory sequence arena for multi-process alignment workers
+  (:mod:`repro.sequence.arena`);
+* homology-graph construction tying it together, serial or sharded across
+  a process pool with bit-identical output
   (:mod:`repro.sequence.homology`).
 """
 
 from repro.sequence.alphabet import AMINO_ACIDS, decode, encode
+from repro.sequence.arena import SequenceArena
 from repro.sequence.fasta import read_fasta, write_fasta
 from repro.sequence.generator import SequenceFamilyConfig, SyntheticProteinSet, generate_protein_families
-from repro.sequence.homology import HomologyConfig, build_homology_graph
+from repro.sequence.homology import (
+    HomologyConfig,
+    HomologyResult,
+    HomologyTimings,
+    build_homology_graph,
+)
 from repro.sequence.kmer_filter import candidate_pairs
 from repro.sequence.profile import (
     Profile,
@@ -37,6 +47,7 @@ from repro.sequence.profile import (
 from repro.sequence.scoring import BLOSUM62, blosum62_matrix
 from repro.sequence.suffix import GeneralizedSuffixArray, candidate_pairs_suffix
 from repro.sequence.smith_waterman import (
+    batch_self_scores,
     batch_smith_waterman,
     sw_score_affine,
     sw_score_linear,
@@ -48,9 +59,13 @@ __all__ = [
     "BLOSUM62",
     "GeneralizedSuffixArray",
     "HomologyConfig",
+    "HomologyResult",
+    "HomologyTimings",
     "Profile",
+    "SequenceArena",
     "SequenceFamilyConfig",
     "SyntheticProteinSet",
+    "batch_self_scores",
     "batch_smith_waterman",
     "blosum62_matrix",
     "build_homology_graph",

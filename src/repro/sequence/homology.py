@@ -1,20 +1,34 @@
 """Homology-graph construction: the end of the pGraph analogue.
 
-Ties the sequence substrate together: k-mer candidate filtering, batched
+Ties the sequence substrate together: seed candidate filtering, batched
 Smith-Waterman on the surviving pairs, normalized-score thresholding, and
 assembly of the undirected similarity graph the clustering stage consumes.
+
+pGraph's central observation is that alignment dominates this stage, so it
+distributes alignment work across processors.  We do the same: candidate
+pairs are cut into contiguous shards and scored either in-process
+(``n_jobs=1``) or by a process pool whose workers read sequences from a
+shared-memory arena (:mod:`repro.sequence.arena`) — no sequence pickling,
+and shard results stream back in order, so the output is bit-identical to
+the serial path regardless of worker count.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.sequence.arena import SequenceArena
 from repro.sequence.kmer_filter import candidate_pairs
 from repro.sequence.scoring import BLOSUM62
-from repro.sequence.smith_waterman import batch_smith_waterman, self_score
+from repro.sequence.smith_waterman import (batch_self_scores,
+                                           batch_smith_waterman,
+                                           batch_smith_waterman_affine)
 
 
 @dataclass(frozen=True)
@@ -34,7 +48,7 @@ class HomologyConfig:
     gap_model / gap / gap_open / gap_extend:
         ``"linear"`` (penalty ``gap`` per gapped residue) or ``"affine"``
         (BLAST-style ``gap_open + (L-1) * gap_extend``); both run the
-        batched anti-diagonal aligner.
+        batched row-scan aligner.
     min_normalized_score:
         A pair becomes an edge when ``sw / min(self_a, self_b)`` is at least
         this value.  Normalizing by the smaller self-score makes the
@@ -42,6 +56,10 @@ class HomologyConfig:
         data.
     chunk_size:
         Alignment batch size.
+    n_jobs:
+        Alignment worker processes.  ``1`` scores shards in-process (the
+        default), ``0`` means ``os.cpu_count()``.  Results are identical
+        for every value.
     """
 
     pair_filter: str = "kmer"
@@ -55,6 +73,7 @@ class HomologyConfig:
     gap_extend: int = 1
     min_normalized_score: float = 0.40
     chunk_size: int = 256
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.pair_filter not in ("kmer", "suffix"):
@@ -67,30 +86,132 @@ class HomologyConfig:
             raise ValueError("chunk_size must be >= 1")
         if self.min_match_len < 1:
             raise ValueError("min_match_len must be >= 1")
+        if self.n_jobs < 0:
+            raise ValueError("n_jobs must be >= 0 (0 = cpu_count)")
+
+
+@dataclass
+class HomologyTimings:
+    """Wall-clock seconds per homology stage (pGraph's cost breakdown)."""
+
+    seed_filter_s: float = 0.0
+    self_scores_s: float = 0.0
+    alignment_s: float = 0.0
+    graph_build_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return (self.seed_filter_s + self.self_scores_s
+                + self.alignment_s + self.graph_build_s)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "seed_filter_s": self.seed_filter_s,
+            "self_scores_s": self.self_scores_s,
+            "alignment_s": self.alignment_s,
+            "graph_build_s": self.graph_build_s,
+            "total_s": self.total_s,
+        }
 
 
 @dataclass
 class HomologyResult:
-    """The similarity graph plus pipeline statistics."""
+    """The similarity graph plus pipeline statistics.
+
+    ``normalized_scores`` aligns with ``pairs`` row for row.  When the graph
+    was built with ``keep_scores=False`` both arrays are empty — edges
+    streamed into the CSR without retaining the per-candidate score vector —
+    and only the counts remain.
+    """
 
     graph: CSRGraph
     n_candidate_pairs: int
     n_edges: int
     normalized_scores: np.ndarray = field(repr=False)
     pairs: np.ndarray = field(repr=False)
+    timings: HomologyTimings | None = field(default=None, repr=False)
 
+
+# ---------------------------------------------------------------------- #
+# Shard scoring (shared by the serial path and pool workers)
+# ---------------------------------------------------------------------- #
+
+def _score_shard(sequences, pairs, denom, matrix, config, keep_scores):
+    """Align one contiguous shard of candidate pairs.
+
+    Returns ``(normalized_or_none, kept_pairs, kept_scores)`` where the
+    first element is the shard's full normalized-score vector only when
+    ``keep_scores`` is set.
+    """
+    seqs_a = [sequences[i] for i in pairs[:, 0]]
+    seqs_b = [sequences[j] for j in pairs[:, 1]]
+    if config.gap_model == "affine":
+        scores = batch_smith_waterman_affine(
+            seqs_a, seqs_b, matrix=matrix, gap_open=config.gap_open,
+            gap_extend=config.gap_extend, chunk_size=config.chunk_size)
+    else:
+        scores = batch_smith_waterman(seqs_a, seqs_b, matrix=matrix,
+                                      gap=config.gap,
+                                      chunk_size=config.chunk_size)
+    normalized = scores / np.maximum(denom, 1)
+    keep = normalized >= config.min_normalized_score
+    return (normalized if keep_scores else None,
+            pairs[keep], normalized[keep])
+
+
+_WORKER: dict = {}
+
+
+def _init_worker(arena_name, n_sequences, matrix, config, keep_scores):
+    arena = SequenceArena.attach(arena_name, n_sequences)
+    _WORKER["arena"] = arena
+    _WORKER["sequences"] = arena.sequences()
+    _WORKER["matrix"] = matrix
+    _WORKER["config"] = config
+    _WORKER["keep_scores"] = keep_scores
+
+
+def _score_shard_remote(task):
+    pairs, denom = task
+    return _score_shard(_WORKER["sequences"], pairs, denom,
+                        _WORKER["matrix"], _WORKER["config"],
+                        _WORKER["keep_scores"])
+
+
+def _shard_bounds(n_pairs: int, chunk_size: int, n_jobs: int):
+    """Contiguous ``(lo, hi)`` shard bounds: ~4 shards per worker for load
+    balance, but never smaller than one alignment chunk."""
+    shard = max(chunk_size, -(-n_pairs // max(n_jobs * 4, 1)))
+    return [(lo, min(lo + shard, n_pairs))
+            for lo in range(0, n_pairs, shard)]
+
+
+def _resolve_jobs(n_jobs: int) -> int:
+    return n_jobs if n_jobs > 0 else (os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------- #
+# Graph construction
+# ---------------------------------------------------------------------- #
 
 def build_homology_graph(sequences: list[np.ndarray],
                          config: HomologyConfig | None = None,
-                         matrix: np.ndarray = BLOSUM62) -> HomologyResult:
+                         matrix: np.ndarray = BLOSUM62,
+                         keep_scores: bool = True) -> HomologyResult:
     """Construct the similarity graph of a sequence set.
 
     Every candidate pair from the seed filter is aligned; pairs whose
     normalized Smith-Waterman score reaches the threshold become undirected
-    edges.
+    edges.  With ``config.n_jobs != 1`` pair shards are scored by a process
+    pool over a shared-memory sequence arena; output is bit-identical to
+    the serial path.  With ``keep_scores=False`` only above-threshold
+    edges are retained as shards complete, never the full score vector.
     """
     config = config or HomologyConfig()
+    timings = HomologyTimings()
     n = len(sequences)
+
+    t0 = time.perf_counter()
     if config.pair_filter == "suffix":
         from repro.sequence.suffix import candidate_pairs_suffix
 
@@ -101,37 +222,73 @@ def build_homology_graph(sequences: list[np.ndarray],
         pairs = candidate_pairs(sequences, k=config.k,
                                 min_shared=config.min_shared_kmers,
                                 max_kmer_occurrence=config.max_kmer_occurrence)
-    if pairs.shape[0] == 0:
+    timings.seed_filter_s = time.perf_counter() - t0
+
+    n_pairs = int(pairs.shape[0])
+    if n_pairs == 0:
         return HomologyResult(
             graph=CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64),
                                       n_vertices=n),
             n_candidate_pairs=0, n_edges=0,
-            normalized_scores=np.zeros(0), pairs=pairs)
+            normalized_scores=np.zeros(0), pairs=pairs, timings=timings)
 
-    seqs_a = [sequences[i] for i in pairs[:, 0]]
-    seqs_b = [sequences[j] for j in pairs[:, 1]]
-    if config.gap_model == "affine":
-        from repro.sequence.smith_waterman import batch_smith_waterman_affine
-
-        scores = batch_smith_waterman_affine(
-            seqs_a, seqs_b, matrix=matrix, gap_open=config.gap_open,
-            gap_extend=config.gap_extend, chunk_size=config.chunk_size)
-    else:
-        scores = batch_smith_waterman(seqs_a, seqs_b, matrix=matrix,
-                                      gap=config.gap,
-                                      chunk_size=config.chunk_size)
-    selfs = np.array([self_score(s, matrix) for s in sequences],
-                     dtype=np.int64)
+    # Self-scores, lazily: only sequences referenced by a candidate pair
+    # are ever used as a denominator, so score just those in one batch.
+    t0 = time.perf_counter()
+    refs = np.unique(pairs)
+    selfs = np.zeros(n, dtype=np.int64)
+    selfs[refs] = batch_self_scores([sequences[i] for i in refs], matrix)
     denom = np.minimum(selfs[pairs[:, 0]], selfs[pairs[:, 1]])
-    normalized = scores / np.maximum(denom, 1)
+    timings.self_scores_s = time.perf_counter() - t0
 
-    keep = normalized >= config.min_normalized_score
-    edges = pairs[keep]
+    t0 = time.perf_counter()
+    n_jobs = _resolve_jobs(config.n_jobs)
+    shards = _shard_bounds(n_pairs, config.chunk_size, n_jobs)
+    score_blocks: list[np.ndarray] = []
+    edge_blocks: list[np.ndarray] = []
+    if n_jobs > 1 and len(shards) > 1:
+        tasks = [(pairs[lo:hi], denom[lo:hi]) for lo, hi in shards]
+        ctx = (multiprocessing.get_context("fork")
+               if "fork" in multiprocessing.get_all_start_methods()
+               else multiprocessing.get_context())
+        with SequenceArena.pack(sequences) as arena:
+            with ctx.Pool(processes=min(n_jobs, len(shards)),
+                          initializer=_init_worker,
+                          initargs=(arena.name, n, matrix, config,
+                                    keep_scores)) as pool:
+                # imap preserves shard order: deterministic merge.
+                for block, kept_pairs, _ in pool.imap(_score_shard_remote,
+                                                      tasks):
+                    if keep_scores:
+                        score_blocks.append(block)
+                    edge_blocks.append(kept_pairs)
+    else:
+        for lo, hi in shards:
+            block, kept_pairs, _ = _score_shard(
+                sequences, pairs[lo:hi], denom[lo:hi], matrix, config,
+                keep_scores)
+            if keep_scores:
+                score_blocks.append(block)
+            edge_blocks.append(kept_pairs)
+    timings.alignment_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    edges = (np.concatenate(edge_blocks, axis=0) if edge_blocks
+             else np.empty((0, 2), dtype=np.int64))
     graph = CSRGraph.from_edges(edges, n_vertices=n)
+    timings.graph_build_s = time.perf_counter() - t0
+
+    if keep_scores:
+        normalized = np.concatenate(score_blocks)
+        pairs_out = pairs
+    else:
+        normalized = np.zeros(0)
+        pairs_out = np.empty((0, 2), dtype=np.int64)
     return HomologyResult(
         graph=graph,
-        n_candidate_pairs=int(pairs.shape[0]),
+        n_candidate_pairs=n_pairs,
         n_edges=graph.n_edges,
         normalized_scores=normalized,
-        pairs=pairs,
+        pairs=pairs_out,
+        timings=timings,
     )

@@ -7,6 +7,12 @@ tree: two sequences become an alignment candidate when they share at least
 ``min_shared`` exact k-mers.  Same filtering effect (exact substring
 agreement), much simpler machinery, fully vectorized.
 
+The index is built loop-free: all sequences are concatenated once, every
+window is packed in a single matrix product, windows crossing a sequence
+boundary are masked out by owner comparison, and per-sequence duplicate
+k-mer types plus the final shared-count threshold each collapse into one
+sort (see :mod:`repro.sequence.pairs` for the group-to-pairs expansion).
+
 High-frequency k-mers (low-complexity regions) are dropped, as every seeded
 filter must, to avoid quadratic blowup on repeats.
 """
@@ -16,6 +22,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sequence.alphabet import ALPHABET_SIZE
+from repro.sequence.pairs import dedupe_count_pairs, expand_group_pairs
+
+
+def _check_k(k: int) -> None:
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if ALPHABET_SIZE ** k > 2**62:
+        raise ValueError(f"k={k} too large to pack into int64")
 
 
 def kmer_codes(seq: np.ndarray, k: int) -> np.ndarray:
@@ -24,10 +38,7 @@ def kmer_codes(seq: np.ndarray, k: int) -> np.ndarray:
     Packing is positional base-``ALPHABET_SIZE``; k is limited so the packed
     value fits in int64 (k <= 14 for a 21-letter alphabet).
     """
-    if k < 1:
-        raise ValueError("k must be >= 1")
-    if ALPHABET_SIZE ** k > 2**62:
-        raise ValueError(f"k={k} too large to pack into int64")
+    _check_k(k)
     seq = np.asarray(seq, dtype=np.int64)
     if seq.size < k:
         return np.empty(0, dtype=np.int64)
@@ -35,6 +46,43 @@ def kmer_codes(seq: np.ndarray, k: int) -> np.ndarray:
     weights = ALPHABET_SIZE ** np.arange(k, dtype=np.int64)
     windows = np.lib.stride_tricks.sliding_window_view(seq, k)
     return windows @ weights
+
+
+def _concatenated_kmer_index(sequences: list[np.ndarray],
+                             k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct ``(kmer, owner)`` pairs over all sequences, one pass.
+
+    Concatenates the set, packs every window with one matrix product, drops
+    windows that straddle a sequence boundary (their first and last residue
+    belong to different owners), and deduplicates per-sequence k-mer types
+    with a single code-major lexsort.
+
+    Returns ``(codes, owners)`` sorted by code then owner, duplicate-free.
+    """
+    lengths = np.array([s.size for s in sequences], dtype=np.int64)
+    total = int(lengths.sum())
+    if total < k:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    concat = np.concatenate(
+        [np.asarray(s, dtype=np.int64) for s in sequences if s.size])
+    owner_of_residue = np.repeat(
+        np.arange(lengths.size, dtype=np.int64), lengths)
+
+    weights = ALPHABET_SIZE ** np.arange(k, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(concat, k)
+    codes = windows @ weights
+    within = owner_of_residue[:codes.size] == owner_of_residue[k - 1:]
+    codes = codes[within]
+    owners = owner_of_residue[:within.size][within]
+
+    order = np.lexsort((owners, codes))
+    codes = codes[order]
+    owners = owners[order]
+    distinct = np.empty(codes.size, dtype=bool)
+    distinct[:1] = True
+    distinct[1:] = (codes[1:] != codes[:-1]) | (owners[1:] != owners[:-1])
+    return codes[distinct], owners[distinct]
 
 
 def candidate_pairs(sequences: list[np.ndarray], k: int = 5,
@@ -61,43 +109,21 @@ def candidate_pairs(sequences: list[np.ndarray], k: int = 5,
     np.ndarray
         ``(m, 2)`` array of index pairs with ``i < j``, sorted.
     """
+    _check_k(k)
     if min_shared < 1:
         raise ValueError("min_shared must be >= 1")
     if max_kmer_occurrence < 2:
         raise ValueError("max_kmer_occurrence must be >= 2")
-
-    all_kmers: list[np.ndarray] = []
-    all_owners: list[np.ndarray] = []
-    for i, seq in enumerate(sequences):
-        codes = np.unique(kmer_codes(seq, k))  # distinct k-mer types per seq
-        all_kmers.append(codes)
-        all_owners.append(np.full(codes.size, i, dtype=np.int64))
-    if not all_kmers:
+    if not sequences:
         return np.empty((0, 2), dtype=np.int64)
-    kmers = np.concatenate(all_kmers)
-    owners = np.concatenate(all_owners)
 
-    order = np.argsort(kmers, kind="stable")
-    kmers = kmers[order]
-    owners = owners[order]
-    boundaries = np.flatnonzero(np.diff(kmers)) + 1
-    groups = np.split(owners, boundaries)
-
-    pair_chunks: list[np.ndarray] = []
-    for group in groups:
-        g = group.size
-        if g < 2 or g > max_kmer_occurrence:
-            continue
-        members = np.sort(group)
-        iu, ju = np.triu_indices(g, k=1)
-        pair_chunks.append(np.stack([members[iu], members[ju]], axis=1))
-    if not pair_chunks:
+    codes, owners = _concatenated_kmer_index(sequences, k)
+    if codes.size == 0:
         return np.empty((0, 2), dtype=np.int64)
-    pairs = np.concatenate(pair_chunks, axis=0)
 
-    n = len(sequences)
-    keys = pairs[:, 0] * np.int64(n) + pairs[:, 1]
-    uniq, counts = np.unique(keys, return_counts=True)
-    qualified = uniq[counts >= min_shared]
-    out = np.stack([qualified // n, qualified % n], axis=1)
-    return out
+    # Seed groups: runs of equal code, owners already sorted within a run.
+    starts = np.flatnonzero(np.r_[True, codes[1:] != codes[:-1]])
+    sizes = np.diff(np.append(starts, codes.size))
+    keep = (sizes >= 2) & (sizes <= max_kmer_occurrence)
+    raw = expand_group_pairs(owners, starts[keep], sizes[keep])
+    return dedupe_count_pairs(raw, len(sequences), min_count=min_shared)

@@ -2,15 +2,31 @@
 
 pGraph's homology detection performs "the optimality-guaranteeing
 Smith-Waterman alignment algorithm [20] only on those identified pairs".
-Three implementations, cross-validated by the test suite:
+Several implementations, cross-validated by the test suite:
 
 * :func:`sw_score_linear` — scalar reference, linear gap penalty;
 * :func:`sw_score_affine` — scalar Gotoh, affine gaps (the richer model for
   users who want BLAST-like penalties);
-* :func:`batch_smith_waterman` — the production path: anti-diagonal
-  wavefront DP vectorized across a *batch* of pairs at once (the classic
-  data-parallel SW formulation), linear gaps, scores only.  Bit-identical
-  to :func:`sw_score_linear`.
+* :func:`batch_smith_waterman` / :func:`batch_smith_waterman_affine` — the
+  production path: a *row-scan* DP vectorized across a batch of pairs at
+  once.  Bit-identical to the scalar references.
+
+The batched kernels used to advance one anti-diagonal at a time (the
+classic wavefront parallelization).  They now advance one *row* at a time:
+the sequential left-gap dependency ``H[i,j] = max(..., H[i,j-1] - gap)``
+unrolls exactly into a max-plus prefix scan,
+
+    ``H[i,j] = max_{k<=j} (T[i,k] - gap * (j - k))``
+             ``= accmax_j (T[i,k] + gap*k) - gap*j``,
+
+where ``T`` collects the non-left candidates (zero, diagonal, up), so each
+row is a handful of whole-chunk vector operations including one
+``np.maximum.accumulate``.  Compared to the wavefront this runs
+``min(la, lb)`` long contiguous iterations instead of ``la + lb`` ragged
+ones, and the DP state is held in the narrowest integer dtype the score
+bounds allow (int16 where penalties and lengths permit, else int32/int64).
+The affine (Gotoh) ``F`` recurrence folds into the same scan with step
+``min(gap_open, gap_extend)`` — see :func:`_rowscan_affine`.
 
 All functions take integer-encoded sequences (see
 :mod:`repro.sequence.alphabet`).
@@ -27,6 +43,12 @@ from repro.sequence.scoring import BLOSUM62
 #: padded cells can never contribute to a local alignment.
 _PAD = ALPHABET_SIZE
 _PAD_SCORE = -(1 << 20)
+
+#: int16 DP is used when every intermediate fits these bounds.
+_I16_SPAN = 28000
+_I16_PAD_SCORE = -30000
+_I16_NEG = -30000
+_I16_MAX_PENALTY = 512
 
 
 def _extended_matrix(matrix: np.ndarray) -> np.ndarray:
@@ -181,124 +203,29 @@ def self_score(seq: np.ndarray, matrix: np.ndarray = BLOSUM62) -> int:
     return int(matrix[seq, seq].sum())
 
 
-def batch_smith_waterman(seqs_a: list[np.ndarray], seqs_b: list[np.ndarray],
-                         matrix: np.ndarray = BLOSUM62, gap: int = 8,
-                         chunk_size: int = 256,
-                         band: int | None = None) -> np.ndarray:
-    """Scores of ``len(seqs_a)`` alignments, vectorized across pairs.
+def batch_self_scores(sequences: list[np.ndarray],
+                      matrix: np.ndarray = BLOSUM62,
+                      block_size: int = 1024) -> np.ndarray:
+    """Self-scores of many sequences, vectorized over padded blocks.
 
-    Pairs are grouped into chunks; within a chunk, sequences are padded to
-    the chunk maxima and the DP advances one anti-diagonal at a time with
-    whole-chunk array operations — the standard wavefront parallelization
-    of Smith-Waterman.
-
-    With ``band`` set, only cells within ``band`` of the main diagonal are
-    computed (see :func:`sw_score_banded`); otherwise equal elementwise to
-    calling :func:`sw_score_linear` per pair.
+    Equal elementwise to calling :func:`self_score` per sequence; sequences
+    are padded to the block maximum with a symbol whose diagonal score is
+    zero, so padding never contributes.
     """
-    if len(seqs_a) != len(seqs_b):
-        raise ValueError("seqs_a and seqs_b must have equal length")
-    if gap < 0:
-        raise ValueError("gap penalty must be >= 0")
-    if band is not None and band < 0:
-        raise ValueError("band must be >= 0")
-    n = len(seqs_a)
-    out = np.zeros(n, dtype=np.int64)
-    mat = _extended_matrix(matrix)
-    # Process in length-sorted order so chunks have homogeneous padding.
-    order = np.argsort([len(a) + len(b) for a, b in zip(seqs_a, seqs_b)],
-                       kind="stable")
-    for lo in range(0, n, chunk_size):
-        idx = order[lo:lo + chunk_size]
-        chunk_a = [np.asarray(seqs_a[i], dtype=np.uint8) for i in idx]
-        chunk_b = [np.asarray(seqs_b[i], dtype=np.uint8) for i in idx]
-        out[idx] = _chunk_scores(chunk_a, chunk_b, mat, gap, band=band)
+    n = len(sequences)
+    out = np.empty(n, dtype=np.int64)
+    diag = np.zeros(ALPHABET_SIZE + 1, dtype=np.int64)
+    diag[:ALPHABET_SIZE] = matrix.diagonal().astype(np.int64)
+    for lo in range(0, n, block_size):
+        chunk = sequences[lo:lo + block_size]
+        block = _pad_block([np.asarray(s) for s in chunk])
+        out[lo:lo + len(chunk)] = diag[block].sum(axis=1)
     return out
 
 
-def batch_smith_waterman_affine(seqs_a: list[np.ndarray],
-                                seqs_b: list[np.ndarray],
-                                matrix: np.ndarray = BLOSUM62,
-                                gap_open: int = 11, gap_extend: int = 1,
-                                chunk_size: int = 256) -> np.ndarray:
-    """Affine-gap (Gotoh) scores, vectorized across pairs.
-
-    The anti-diagonal wavefront generalizes to three DP matrices: ``H``
-    (match state), ``E`` (gap in the first sequence, extended along ``j``)
-    and ``F`` (gap in the second, extended along ``i``).  Bit-identical to
-    :func:`sw_score_affine` per pair.
-    """
-    if len(seqs_a) != len(seqs_b):
-        raise ValueError("seqs_a and seqs_b must have equal length")
-    if gap_open < 0 or gap_extend < 0:
-        raise ValueError("gap penalties must be >= 0")
-    n = len(seqs_a)
-    out = np.zeros(n, dtype=np.int64)
-    mat = _extended_matrix(matrix)
-    order = np.argsort([len(a) + len(b) for a, b in zip(seqs_a, seqs_b)],
-                       kind="stable")
-    for lo in range(0, n, chunk_size):
-        idx = order[lo:lo + chunk_size]
-        chunk_a = [np.asarray(seqs_a[i], dtype=np.uint8) for i in idx]
-        chunk_b = [np.asarray(seqs_b[i], dtype=np.uint8) for i in idx]
-        out[idx] = _chunk_scores_affine(chunk_a, chunk_b, mat,
-                                        gap_open, gap_extend)
-    return out
-
-
-def _chunk_scores_affine(seqs_a: list[np.ndarray], seqs_b: list[np.ndarray],
-                         mat: np.ndarray, gap_open: int,
-                         gap_extend: int) -> np.ndarray:
-    """Gotoh anti-diagonal DP over one padded chunk."""
-    a = _pad_block(seqs_a)
-    b = _pad_block(seqs_b)
-    n_pairs, la = a.shape
-    lb = b.shape[1]
-    if n_pairs == 0:
-        return np.zeros(0, dtype=np.int64)
-    neg = np.int64(-(1 << 40))
-
-    h_prev2 = np.zeros((n_pairs, la + 1), dtype=np.int64)
-    h_prev1 = np.zeros((n_pairs, la + 1), dtype=np.int64)
-    e_prev1 = np.full((n_pairs, la + 1), neg)   # E[i, j] = gap along j
-    f_prev1 = np.full((n_pairs, la + 1), neg)   # F[i, j] = gap along i
-    best = np.zeros(n_pairs, dtype=np.int64)
-
-    for d in range(2, la + lb + 1):
-        i_lo = max(1, d - lb)
-        i_hi = min(la, d - 1)
-        if i_lo > i_hi:
-            # H=0 boundaries persist in the zero arrays; E/F boundaries stay
-            # at -inf, matching the scalar recurrence's borders.
-            h_prev2, h_prev1 = h_prev1, np.zeros_like(h_prev1)
-            e_prev1 = np.full_like(e_prev1, neg)
-            f_prev1 = np.full_like(f_prev1, neg)
-            continue
-        i_range = np.arange(i_lo, i_hi + 1)
-        sub = mat[a[:, i_range - 1], b[:, d - i_range - 1]]
-        # E[i, j] = max(E[i, j-1] - ext, H[i, j-1] - open): cell (i, j-1)
-        # lives on diagonal d-1 at index i.
-        e_cur = np.maximum(e_prev1[:, i_range] - gap_extend,
-                           h_prev1[:, i_range] - gap_open)
-        # F[i, j] = max(F[i-1, j] - ext, H[i-1, j] - open): cell (i-1, j)
-        # lives on diagonal d-1 at index i-1.
-        f_cur = np.maximum(f_prev1[:, i_range - 1] - gap_extend,
-                           h_prev1[:, i_range - 1] - gap_open)
-        diag = h_prev2[:, i_range - 1] + sub
-        h_vals = np.maximum(np.maximum(diag, 0),
-                            np.maximum(e_cur, f_cur))
-        np.maximum(best, h_vals.max(axis=1), out=best)
-
-        h_new = np.zeros((n_pairs, la + 1), dtype=np.int64)
-        e_new = np.full((n_pairs, la + 1), neg)
-        f_new = np.full((n_pairs, la + 1), neg)
-        h_new[:, i_range] = h_vals
-        e_new[:, i_range] = e_cur
-        f_new[:, i_range] = f_cur
-        h_prev2, h_prev1 = h_prev1, h_new
-        e_prev1, f_prev1 = e_new, f_new
-    return best
-
+# --------------------------------------------------------------------- #
+# Batched row-scan kernels
+# --------------------------------------------------------------------- #
 
 def _pad_block(seqs: list[np.ndarray]) -> np.ndarray:
     width = max((s.size for s in seqs), default=0)
@@ -308,10 +235,182 @@ def _pad_block(seqs: list[np.ndarray]) -> np.ndarray:
     return block
 
 
-def _chunk_scores(seqs_a: list[np.ndarray], seqs_b: list[np.ndarray],
-                  mat: np.ndarray, gap: int,
-                  band: int | None = None) -> np.ndarray:
-    """Anti-diagonal DP over one padded chunk; returns per-pair best scores."""
+def _dp_dtype(max_short: int, max_long: int, matrix: np.ndarray,
+              penalties: tuple[int, ...]) -> np.dtype:
+    """Narrowest integer dtype whose range covers every DP intermediate.
+
+    The SW score is bounded by ``matrix.max() * min(la, lb)`` (at most one
+    match step per residue of the shorter sequence); the prefix scans add at
+    most ``penalty * (lb - 1)`` on top.
+    """
+    smax = max(int(matrix.max()), 0) * max_short
+    worst = max(penalties, default=0)
+    span = smax + worst * (max_long + 1)
+    if span < _I16_SPAN and all(p <= _I16_MAX_PENALTY for p in penalties):
+        return np.dtype(np.int16)
+    if span < (1 << 30):
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+def _score_matrix(matrix: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    pad = _I16_PAD_SCORE if dtype == np.int16 else _PAD_SCORE
+    m = np.full((ALPHABET_SIZE + 1, ALPHABET_SIZE + 1), pad, dtype=dtype)
+    m[:ALPHABET_SIZE, :ALPHABET_SIZE] = matrix.astype(dtype)
+    return m
+
+
+def _swap_short_long(seqs_a: list[np.ndarray], seqs_b: list[np.ndarray],
+                     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Orient each pair so the first sequence is the shorter one.
+
+    SW scores are symmetric, and the row-scan kernel loops over rows of the
+    shorter sequence while vectorizing along the longer, so this minimizes
+    Python-level iterations per chunk.
+    """
+    short = [x if x.size <= y.size else y for x, y in zip(seqs_a, seqs_b)]
+    long_ = [y if x.size <= y.size else x for x, y in zip(seqs_a, seqs_b)]
+    return short, long_
+
+
+def _prefix_max_axis0(x: np.ndarray) -> None:
+    """In-place running maximum down axis 0, by repeated doubling.
+
+    Equivalent to ``np.maximum.accumulate(x, axis=0, out=x)`` but built
+    from whole-array maximums over contiguous slabs — ``log2(rows)`` SIMD
+    passes instead of a strided scalar scan.  Reading already-updated rows
+    is harmless: max is idempotent and monotone, so early propagation can
+    only reach the same fixed point.
+    """
+    n = x.shape[0]
+    k = 1
+    while k < n:
+        np.maximum(x[k:], x[:-k], out=x[k:])
+        k <<= 1
+
+
+def _gather_blocks(seqs_short: list[np.ndarray],
+                   seqs_long: list[np.ndarray], mat: np.ndarray):
+    """Chunk tensors for the transposed row scan.
+
+    Returns ``(arow, bt, mat_flat)`` where ``arow[i]`` holds the short
+    sequences' row-``i`` symbols pre-scaled to row offsets into the
+    flattened score matrix, and ``bt`` is the long block transposed to
+    ``(Lb, B)`` so every DP array is contiguous along the scan axis.
+    """
+    a = _pad_block(seqs_short)          # (B, La) — row loop
+    b = _pad_block(seqs_long)           # (B, Lb) — vector width
+    arow = np.ascontiguousarray((a * mat.shape[1]).T.astype(np.intp))
+    bt = np.ascontiguousarray(b.T.astype(np.intp))
+    return arow, bt, mat.ravel()
+
+
+def _rowscan_linear(seqs_short: list[np.ndarray], seqs_long: list[np.ndarray],
+                    matrix: np.ndarray, gap: int) -> np.ndarray:
+    """Row-scan linear-gap DP over one padded chunk; per-pair best scores.
+
+    All DP state lives transposed as ``(Lb, B)`` so the left-chain prefix
+    max runs down contiguous memory, and substitution scores come from one
+    flat ``take`` per row.
+    """
+    n_pairs = len(seqs_short)
+    if n_pairs == 0:
+        return np.zeros(0, dtype=np.int64)
+    la = max(s.size for s in seqs_short)
+    dtype = _dp_dtype(la, max(s.size for s in seqs_long), matrix, (gap,))
+    mat = _score_matrix(matrix, dtype)
+    arow, bt, mat_flat = _gather_blocks(seqs_short, seqs_long, mat)
+    lb = bt.shape[0]
+    ramp = (np.arange(lb) * gap).astype(dtype)[:, None]
+
+    h_prev = np.zeros((lb, n_pairs), dtype=dtype)
+    hmax = np.zeros((lb, n_pairs), dtype=dtype)
+    shifted = np.zeros((lb, n_pairs), dtype=dtype)
+    tmp = np.empty((lb, n_pairs), dtype=dtype)
+    up = np.empty((lb, n_pairs), dtype=dtype)
+    idx = np.empty((lb, n_pairs), dtype=np.intp)
+    sub = np.empty((lb, n_pairs), dtype=dtype)
+    for i in range(la):
+        np.add(bt, arow[i][None, :], out=idx)
+        np.take(mat_flat, idx, out=sub)
+        shifted[1:] = h_prev[:-1]
+        np.add(shifted, sub, out=tmp)                 # diagonal candidate
+        np.subtract(h_prev, dtype.type(gap), out=up)  # up candidate
+        np.maximum(tmp, up, out=tmp)
+        np.maximum(tmp, dtype.type(0), out=tmp)       # T[i, :]
+        np.maximum(hmax, tmp, out=hmax)
+        # Left-chain scan: H[i,j] = accmax_j(T + gap*j) - gap*j.
+        np.add(tmp, ramp, out=tmp)
+        _prefix_max_axis0(tmp)
+        np.subtract(tmp, ramp, out=h_prev)
+    return hmax.max(axis=0).astype(np.int64)
+
+
+def _rowscan_affine(seqs_short: list[np.ndarray], seqs_long: list[np.ndarray],
+                    matrix: np.ndarray, gap_open: int,
+                    gap_extend: int) -> np.ndarray:
+    """Row-scan Gotoh DP over one padded chunk; per-pair best scores.
+
+    ``E`` (gap in the long sequence) is elementwise per row.  ``F`` (gap in
+    the short sequence) unrolls into the same max-plus prefix scan as the
+    linear left chain: expanding ``F[j] = max(F[j-1]-e, H[j-1]-o)`` with
+    ``H[j-1] = max(T[j-1], F[j-1])`` gives ``F[j] = max(T[j-1]-o,
+    F[j-1]-min(e,o))``, hence ``F[j] = max_{k<j} (T[k] - o - min(e,o) *
+    (j-1-k))`` exactly, for either ordering of the two penalties.
+
+    Layout matches :func:`_rowscan_linear`: state is ``(Lb, B)`` so the F
+    scan runs down contiguous memory.
+    """
+    n_pairs = len(seqs_short)
+    if n_pairs == 0:
+        return np.zeros(0, dtype=np.int64)
+    la = max(s.size for s in seqs_short)
+    step = min(gap_open, gap_extend)
+    dtype = _dp_dtype(la, max(s.size for s in seqs_long), matrix,
+                      (gap_open, gap_extend))
+    mat = _score_matrix(matrix, dtype)
+    neg = dtype.type(_I16_NEG if dtype == np.int16 else -(1 << 26))
+    arow, bt, mat_flat = _gather_blocks(seqs_short, seqs_long, mat)
+    lb = bt.shape[0]
+    ramp = (np.arange(lb) * step).astype(dtype)[:, None]
+
+    h_prev = np.zeros((lb, n_pairs), dtype=dtype)
+    e_row = np.full((lb, n_pairs), neg, dtype=dtype)
+    hmax = np.zeros((lb, n_pairs), dtype=dtype)
+    shifted = np.zeros((lb, n_pairs), dtype=dtype)
+    tmp = np.empty((lb, n_pairs), dtype=dtype)
+    scratch = np.empty((lb, n_pairs), dtype=dtype)
+    idx = np.empty((lb, n_pairs), dtype=np.intp)
+    sub = np.empty((lb, n_pairs), dtype=dtype)
+    for i in range(la):
+        np.add(bt, arow[i][None, :], out=idx)
+        np.take(mat_flat, idx, out=sub)
+        # E[i, :] = max(E[i-1, :] - extend, H[i-1, :] - open)
+        np.subtract(e_row, dtype.type(gap_extend), out=e_row)
+        np.subtract(h_prev, dtype.type(gap_open), out=scratch)
+        np.maximum(e_row, scratch, out=e_row)
+        shifted[1:] = h_prev[:-1]
+        np.add(shifted, sub, out=tmp)
+        np.maximum(tmp, e_row, out=tmp)
+        np.maximum(tmp, dtype.type(0), out=tmp)       # T[i, :]
+        np.maximum(hmax, tmp, out=hmax)
+        # F scan, then H = max(T, F); F[0] never beats T[0] >= 0.
+        np.add(tmp, ramp, out=scratch)
+        _prefix_max_axis0(scratch)
+        np.subtract(scratch, ramp, out=scratch)
+        h_prev, tmp = tmp, h_prev
+        h_prev[1:] = np.maximum(h_prev[1:],
+                                scratch[:-1] - dtype.type(gap_open))
+    return hmax.max(axis=0).astype(np.int64)
+
+
+def _chunk_scores_banded(seqs_a: list[np.ndarray], seqs_b: list[np.ndarray],
+                         mat: np.ndarray, gap: int, band: int) -> np.ndarray:
+    """Anti-diagonal DP over one padded chunk, band-restricted.
+
+    The legacy wavefront kernel, kept for the banded mode: the band windows
+    break the left-chain scan invariant the row kernels rely on.
+    """
     a = _pad_block(seqs_a)          # (B, La)
     b = _pad_block(seqs_b)          # (B, Lb)
     n_pairs, la = a.shape
@@ -327,10 +426,9 @@ def _chunk_scores(seqs_a: list[np.ndarray], seqs_b: list[np.ndarray],
     for d in range(2, la + lb + 1):
         i_lo = max(1, d - lb)
         i_hi = min(la, d - 1)
-        if band is not None:
-            # |i - j| <= band with j = d - i  =>  (d - band)/2 <= i <= (d + band)/2
-            i_lo = max(i_lo, -((band - d) // 2))   # ceil((d - band) / 2)
-            i_hi = min(i_hi, (d + band) // 2)
+        # |i - j| <= band with j = d - i  =>  (d - band)/2 <= i <= (d + band)/2
+        i_lo = max(i_lo, -((band - d) // 2))   # ceil((d - band) / 2)
+        i_hi = min(i_hi, (d + band) // 2)
         if i_lo > i_hi:
             # Nothing inside the band on this diagonal: its H values are all
             # zero, but the buffers must still rotate or later diagonals
@@ -348,3 +446,87 @@ def _chunk_scores(seqs_a: list[np.ndarray], seqs_b: list[np.ndarray],
         np.maximum(best, h_cur_vals.max(axis=1), out=best)
         h_prev2, h_prev1 = h_prev1, h_cur
     return best
+
+
+def _chunk_order(seqs_short: list[np.ndarray],
+                 seqs_long: list[np.ndarray]) -> np.ndarray:
+    """Length-sorted processing order so chunks pad homogeneously.
+
+    Sorting by (long, short) length keeps both the vector width and the row
+    count of each chunk tight around its members.
+    """
+    return np.lexsort(([s.size for s in seqs_short],
+                       [s.size for s in seqs_long]))
+
+
+def batch_smith_waterman(seqs_a: list[np.ndarray], seqs_b: list[np.ndarray],
+                         matrix: np.ndarray = BLOSUM62, gap: int = 8,
+                         chunk_size: int = 256,
+                         band: int | None = None) -> np.ndarray:
+    """Scores of ``len(seqs_a)`` alignments, vectorized across pairs.
+
+    Pairs are grouped into length-sorted chunks; within a chunk the
+    row-scan DP advances with whole-chunk array operations (see the module
+    docstring).  Equal elementwise to calling :func:`sw_score_linear` per
+    pair.
+
+    With ``band`` set, only cells within ``band`` of the main diagonal are
+    computed (see :func:`sw_score_banded`) via the legacy anti-diagonal
+    kernel.
+    """
+    if len(seqs_a) != len(seqs_b):
+        raise ValueError("seqs_a and seqs_b must have equal length")
+    if gap < 0:
+        raise ValueError("gap penalty must be >= 0")
+    if band is not None and band < 0:
+        raise ValueError("band must be >= 0")
+    n = len(seqs_a)
+    out = np.zeros(n, dtype=np.int64)
+    if band is not None:
+        mat = _extended_matrix(matrix)
+        order = np.argsort([len(a) + len(b) for a, b in zip(seqs_a, seqs_b)],
+                           kind="stable")
+        for lo in range(0, n, chunk_size):
+            idx = order[lo:lo + chunk_size]
+            chunk_a = [np.asarray(seqs_a[i], dtype=np.uint8) for i in idx]
+            chunk_b = [np.asarray(seqs_b[i], dtype=np.uint8) for i in idx]
+            out[idx] = _chunk_scores_banded(chunk_a, chunk_b, mat, gap, band)
+        return out
+    short, long_ = _swap_short_long(
+        [np.asarray(a, dtype=np.uint8) for a in seqs_a],
+        [np.asarray(b, dtype=np.uint8) for b in seqs_b])
+    order = _chunk_order(short, long_)
+    for lo in range(0, n, chunk_size):
+        idx = order[lo:lo + chunk_size]
+        out[idx] = _rowscan_linear([short[i] for i in idx],
+                                   [long_[i] for i in idx], matrix, gap)
+    return out
+
+
+def batch_smith_waterman_affine(seqs_a: list[np.ndarray],
+                                seqs_b: list[np.ndarray],
+                                matrix: np.ndarray = BLOSUM62,
+                                gap_open: int = 11, gap_extend: int = 1,
+                                chunk_size: int = 256) -> np.ndarray:
+    """Affine-gap (Gotoh) scores, vectorized across pairs.
+
+    Bit-identical to :func:`sw_score_affine` per pair; see
+    :func:`_rowscan_affine` for how the three DP matrices collapse into one
+    elementwise pass plus one prefix scan per row.
+    """
+    if len(seqs_a) != len(seqs_b):
+        raise ValueError("seqs_a and seqs_b must have equal length")
+    if gap_open < 0 or gap_extend < 0:
+        raise ValueError("gap penalties must be >= 0")
+    n = len(seqs_a)
+    out = np.zeros(n, dtype=np.int64)
+    short, long_ = _swap_short_long(
+        [np.asarray(a, dtype=np.uint8) for a in seqs_a],
+        [np.asarray(b, dtype=np.uint8) for b in seqs_b])
+    order = _chunk_order(short, long_)
+    for lo in range(0, n, chunk_size):
+        idx = order[lo:lo + chunk_size]
+        out[idx] = _rowscan_affine([short[i] for i in idx],
+                                   [long_[i] for i in idx],
+                                   matrix, gap_open, gap_extend)
+    return out

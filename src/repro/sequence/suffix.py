@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sequence.alphabet import ALPHABET_SIZE
+from repro.sequence.pairs import dedupe_count_pairs, expand_group_pairs
 
 
 def build_suffix_array(text: np.ndarray) -> np.ndarray:
@@ -127,10 +128,15 @@ class GeneralizedSuffixArray:
                         max_run: int = 200) -> np.ndarray:
         """Sequence pairs sharing an exact match of ``>= min_match_len``.
 
-        Walks maximal LCP-``>= min_match_len`` runs of the suffix array and
-        pairs the distinct owner sequences within each run.  Runs longer
-        than ``max_run`` suffixes are skipped (low-complexity filter, the
-        suffix-array analogue of the k-mer occurrence cap).
+        Finds maximal LCP-``>= min_match_len`` runs of the suffix array and
+        pairs the distinct owner sequences within each run.  Runs with more
+        than ``max_run`` distinct owners are skipped (low-complexity
+        filter, the suffix-array analogue of the k-mer occurrence cap).
+
+        Fully vectorized: runs come from one boolean diff, per-run distinct
+        owners from one lexsort, and the triangle expansion plus the final
+        cross-run dedup are shared with the k-mer filter
+        (:mod:`repro.sequence.pairs`).
 
         Returns ``(m, 2)`` sorted unique index pairs with ``i < j``.
         """
@@ -138,29 +144,39 @@ class GeneralizedSuffixArray:
             raise ValueError("min_match_len must be >= 1")
         owner_by_rank = self.owner[self.sa]
         qualifying = self.lcp >= min_match_len
-        pairs: set[tuple[int, int]] = set()
-        i = 0
-        n = qualifying.size
-        while i < n:
-            if not qualifying[i]:
-                i += 1
-                continue
-            # Run of suffixes sa[i-1 .. j-1] sharing a >=L prefix.
-            start = i - 1
-            j = i
-            while j < n and qualifying[j]:
-                j += 1
-            run_owners = np.unique(owner_by_rank[start:j])
-            if run_owners.size <= max_run:
-                for a_idx in range(run_owners.size):
-                    for b_idx in range(a_idx + 1, run_owners.size):
-                        pairs.add((int(run_owners[a_idx]),
-                                   int(run_owners[b_idx])))
-            i = j
-        if not pairs:
+        hits = np.flatnonzero(qualifying)
+        if hits.size == 0:
             return np.empty((0, 2), dtype=np.int64)
-        out = np.array(sorted(pairs), dtype=np.int64)
-        return out
+        # Runs of consecutive qualifying LCP entries at ranks
+        # [s .. e] cover the suffixes sa[s-1 .. e] (lcp[i] relates rank i-1
+        # to rank i, so the run of suffixes starts one rank earlier).
+        breaks = np.flatnonzero(np.diff(hits) > 1)
+        run_lo = hits[np.r_[0, breaks + 1]] - 1
+        run_hi = hits[np.r_[breaks, hits.size - 1]]
+        run_sizes = run_hi - run_lo + 1
+
+        # Gather each run's owners and deduplicate per run with one sort.
+        n_elems = int(run_sizes.sum())
+        run_of_elem = np.repeat(np.arange(run_sizes.size, dtype=np.int64),
+                                run_sizes)
+        elem_start = np.repeat(np.cumsum(run_sizes) - run_sizes, run_sizes)
+        rank = (np.arange(n_elems, dtype=np.int64) - elem_start
+                + np.repeat(run_lo, run_sizes))
+        owners = owner_by_rank[rank]
+        order = np.lexsort((owners, run_of_elem))
+        owners = owners[order]
+        runs = run_of_elem[order]
+        distinct = np.empty(n_elems, dtype=bool)
+        distinct[:1] = True
+        distinct[1:] = (runs[1:] != runs[:-1]) | (owners[1:] != owners[:-1])
+        owners = owners[distinct]
+        runs = runs[distinct]
+
+        starts = np.flatnonzero(np.r_[True, runs[1:] != runs[:-1]])
+        sizes = np.diff(np.append(starts, runs.size))
+        keep = (sizes >= 2) & (sizes <= max_run)
+        raw = expand_group_pairs(owners, starts[keep], sizes[keep])
+        return dedupe_count_pairs(raw, self.n_sequences)
 
 
 def candidate_pairs_suffix(sequences: list[np.ndarray],
