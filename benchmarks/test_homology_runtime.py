@@ -27,6 +27,7 @@ import numpy as np
 import pytest
 
 from repro.graph.csr import CSRGraph
+from repro.obs import observe, use_obs
 from repro.pipeline.workloads import make_homology_workload
 from repro.sequence.kmer_filter import kmer_codes
 from repro.sequence.scoring import BLOSUM62
@@ -197,12 +198,20 @@ def test_homology_runtime(report_writer, scale):
 
     def run_current(n_jobs):
         config = dataclasses.replace(base_config, n_jobs=n_jobs)
-        result = build_homology_graph(sequences, config)
-        return dict(result.timings.as_dict()), result.graph
+        # Metrics-only observation (no tracer): counter increments are a
+        # handful of adds, far below timing noise.
+        ctx = observe(trace=False)
+        with use_obs(ctx):
+            result = build_homology_graph(sequences, config)
+        stages = dict(result.timings.as_dict())
+        stages["_metrics"] = ctx.metrics.snapshot()["counters"]
+        return stages, result.graph
 
     serial_stages, serial_graph = _best_of(lambda: run_current(1))
     parallel_stages, parallel_graph = _best_of(
         lambda: run_current(PARALLEL_JOBS))
+    serial_metrics = serial_stages.pop("_metrics")
+    parallel_metrics = parallel_stages.pop("_metrics")
 
     # All three paths must build the identical graph.
     for other in (serial_graph, parallel_graph):
@@ -237,6 +246,10 @@ def test_homology_runtime(report_writer, scale):
             },
             "n_sequences": protein_set.n_sequences,
             "n_edges": int(seed_graph.n_edges),
+            "metrics": {
+                "homology_serial": serial_metrics,
+                f"homology_parallel_j{PARALLEL_JOBS}": parallel_metrics,
+            },
             "speedups": {
                 "serial_vs_seed": round(serial_speedup, 3),
                 f"parallel_j{PARALLEL_JOBS}_vs_seed":

@@ -18,6 +18,7 @@ import gc
 import pytest
 
 from repro.core.pipeline import BUCKET_SERIAL_SHINGLING, GpClust, SerialPClust
+from repro.device.device import SimulatedDevice
 from repro.graph.io import save_npz, timed_load
 from repro.pipeline.workloads import make_runtime_workload, workload_params
 from repro.util.tables import (
@@ -67,16 +68,20 @@ def runtime_results(scale, tmp_path_factory):
         gc.collect()
         gc.disable()
         try:
-            device = GpClust(params).run(graph, io_seconds=io_seconds)
+            # Explicit device so its metrics registry (transfer bytes,
+            # dedup counters) survives the run for the JSON payload.
+            sim = SimulatedDevice()
+            device = GpClust(params).run(graph, io_seconds=io_seconds,
+                                         device=sim)
         finally:
             gc.enable()
-        results[name] = (graph, serial, device)
+        results[name] = (graph, serial, device, sim)
     return results
 
 
 @pytest.mark.parametrize("name", ["20k", "2m"])
 def test_table1_row(benchmark, name, runtime_results, report_writer, scale):
-    graph, serial, device = runtime_results[name]
+    graph, serial, device, sim = runtime_results[name]
 
     params = workload_params(scale)
     benchmark.pedantic(
@@ -125,6 +130,24 @@ def test_table1_row(benchmark, name, runtime_results, report_writer, scale):
         "modeled_gpu_s": round(t.get_modeled(BUCKET_GPU), 6),
         "modeled_c2g_s": round(t.get_modeled(BUCKET_C2G), 6),
         "modeled_g2c_s": round(t.get_modeled(BUCKET_G2C), 6),
+    }
+    # Obs metrics snapshot of the measured run: bytes actually moved across
+    # the simulated bus and the on-device shingle dedup ratio.
+    sim.sync_metrics()
+    snap = sim.obs.metrics.snapshot()
+    gauges, counters = snap["gauges"], snap["counters"]
+    slots = counters.get("shingle.occurrence_slots", 0)
+    distinct = counters.get("shingle.distinct_fps", 0)
+    _raw[name]["metrics"] = {
+        "h2d_bytes": gauges["device.h2d_bytes"],
+        "d2h_bytes": gauges["device.d2h_bytes"],
+        "peak_device_bytes": gauges["device.peak_device_bytes"],
+        "scratch_hits": gauges["device.scratch.hits"],
+        "scratch_misses": gauges["device.scratch.misses"],
+        "shingle_occurrence_slots": slots,
+        "shingle_distinct_fps": distinct,
+        "shingle_dedup_ratio":
+            round(distinct / slots, 6) if slots else None,
     }
 
     # Shape assertions mirroring the paper's findings.

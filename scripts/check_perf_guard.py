@@ -12,6 +12,12 @@ never fail.
 guarded rows: ``table1_rows`` (clustering bench vs BENCH_PR2.json) or
 ``homology_rows`` (homology-construction bench vs BENCH_PR3.json).
 
+``--max-overhead-pct`` switches to observability-overhead mode: the
+measured file is then a ``trace_overhead.json`` written by
+``scripts/run_traced_smoke.py`` (``traced_off_s`` / ``traced_on_s``), no
+reference file is read, and the guard fails when enabling tracing costs
+more than the given percentage.
+
 Usage::
 
     python scripts/check_perf_guard.py \
@@ -20,6 +26,9 @@ Usage::
     python scripts/check_perf_guard.py \
         --measured benchmarks/results/homology_runtime.json \
         --reference BENCH_PR3.json --reference-key homology_rows
+    python scripts/check_perf_guard.py \
+        --measured benchmarks/results/trace_overhead.json \
+        --max-overhead-pct 2
 """
 
 from __future__ import annotations
@@ -53,6 +62,21 @@ def check(measured: dict, reference: dict, tolerance: float,
     return failures
 
 
+def check_overhead(measured: dict, max_overhead_pct: float) -> list[str]:
+    """Overhead mode: traced-on wall time vs traced-off wall time."""
+    off_s = float(measured["traced_off_s"])
+    on_s = float(measured["traced_on_s"])
+    overhead_pct = (on_s / off_s - 1.0) * 100.0
+    verdict = "OK" if overhead_pct <= max_overhead_pct else "REGRESSION"
+    print(f"{measured.get('workload', 'workload')}: tracing on {on_s:.4f}s "
+          f"vs off {off_s:.4f}s (overhead {overhead_pct:+.2f}%, "
+          f"limit {max_overhead_pct:.1f}%) -> {verdict}")
+    if overhead_pct > max_overhead_pct:
+        return [f"observability overhead {overhead_pct:+.2f}% exceeds "
+                f"{max_overhead_pct:.1f}%"]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--measured",
@@ -65,12 +89,20 @@ def main(argv: list[str] | None = None) -> int:
                              "guarded rows (table1_rows, homology_rows)")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed fractional total-time regression")
+    parser.add_argument("--max-overhead-pct", type=float, default=None,
+                        metavar="PCT",
+                        help="observability-overhead mode: fail when the "
+                             "traced run in a trace_overhead.json is more "
+                             "than PCT%% slower than the untraced run")
     args = parser.parse_args(argv)
 
     measured = json.loads(Path(args.measured).read_text())
-    reference = json.loads(Path(args.reference).read_text())
-    failures = check(measured, reference, args.tolerance,
-                     reference_key=args.reference_key)
+    if args.max_overhead_pct is not None:
+        failures = check_overhead(measured, args.max_overhead_pct)
+    else:
+        reference = json.loads(Path(args.reference).read_text())
+        failures = check(measured, reference, args.tolerance,
+                         reference_key=args.reference_key)
     if failures:
         print("\nPERF GUARD FAILED:", file=sys.stderr)
         for line in failures:

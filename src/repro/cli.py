@@ -17,6 +17,9 @@ Subcommands
     End to end from a FASTA file: homology graph construction
     (k-mer or suffix-array pair filter + batched Smith-Waterman), gpClust
     clustering, and a per-cluster report.
+``obs``
+    Observability utilities: ``obs summary trace.json`` reports where a
+    traced run (``cluster``/``pipeline`` with ``--trace``) spent its time.
 
 Examples
 --------
@@ -49,10 +52,89 @@ from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
 from repro.util.tables import format_percent, format_seconds, format_table
 
 
+#: ``--profile`` document schema: version 2 unifies the cluster/pipeline
+#: shapes into one doc ({schema_version, metrics, spans?, device?,
+#: homology?}) while keeping every version-1 key as an alias.
+PROFILE_SCHEMA_VERSION = 2
+
+
 def _params_from_args(args: argparse.Namespace) -> ShinglingParams:
     return ShinglingParams(s1=args.s1, c1=args.c1, s2=args.s2, c2=args.c2,
                            seed=args.seed, kernel=args.kernel,
                            exec_mode=args.exec_mode, streams=args.streams)
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return (args.trace is not None or args.metrics_out is not None
+            or args.profile is not None)
+
+
+def _make_obs(args: argparse.Namespace):
+    """The command's observability context (None when nothing was asked)."""
+    if not _obs_requested(args):
+        return None
+    from repro.obs import observe
+
+    return observe(trace=args.trace is not None, metrics=True)
+
+
+def _profile_doc(ctx, device=None, homology=None) -> dict:
+    """The unified ``--profile`` JSON document (schema version 2).
+
+    Version-1 consumers keep working: the device profile's ``kernels`` /
+    ``transfers`` / ``scratch_pool`` keys are aliased at the top level
+    (the old ``cluster --profile`` shape) and the ``homology`` / ``device``
+    keys match the old ``pipeline --profile`` shape.
+    """
+    doc: dict = {"schema_version": PROFILE_SCHEMA_VERSION,
+                 "metrics": ctx.metrics.snapshot()}
+    if ctx.tracer.enabled:
+        doc["spans"] = ctx.tracer.summary()
+    if device is not None:
+        profile = device.profile()
+        doc["device"] = profile
+        doc["device_name"] = profile["device"]
+        # v1 aliases at the top level (the old ``cluster --profile`` shape).
+        for key in ("kernels", "transfers", "scratch_pool",
+                    "measured_buckets_s"):
+            doc[key] = profile[key]
+    if homology is not None and homology.timings is not None:
+        doc["homology"] = homology.timings.as_dict()
+    return doc
+
+
+def _emit_obs(args: argparse.Namespace, ctx, device=None,
+              homology=None) -> None:
+    """Write whatever ``--profile`` / ``--trace`` / ``--metrics-out`` asked."""
+    import json
+
+    if device is not None:
+        device.sync_metrics()  # flush transfer/scratch gauges
+    if args.profile is not None:
+        report = json.dumps(_profile_doc(ctx, device=device,
+                                         homology=homology),
+                            indent=2, sort_keys=True)
+        if args.profile == "-":
+            print(report)
+        else:
+            Path(args.profile).write_text(report + "\n")
+            print(f"profile written to {args.profile}")
+    if args.trace is not None:
+        from repro.obs import write_chrome_trace
+
+        tracer = ctx.tracer
+        write_chrome_trace(
+            args.trace, tracer.records, tracer.t0,
+            metadata={"command": args.command,
+                      "metrics": ctx.metrics.snapshot(),
+                      "spans": tracer.summary()})
+        print(f"trace written to {args.trace} "
+              "(load it at https://ui.perfetto.dev)")
+    if args.metrics_out is not None:
+        snapshot = {"schema_version": 1, **ctx.metrics.snapshot()}
+        Path(args.metrics_out).write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"metrics written to {args.metrics_out}")
 
 
 def _add_param_args(parser: argparse.ArgumentParser) -> None:
@@ -101,27 +183,30 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_cluster(args: argparse.Namespace) -> int:
     params = _params_from_args(args)
-    if args.profile is not None and args.backend == "device":
-        import json
-
-        from repro.core.pipeline import GpClust
-        from repro.device.device import SimulatedDevice
-
-        graph, io_seconds = timed_load(args.graph)
-        device = SimulatedDevice()
-        result = GpClust(params).run(graph, io_seconds=io_seconds,
-                                     device=device)
-        report = json.dumps(device.profile(), indent=2, sort_keys=True)
-        if args.profile == "-":
-            print(report)
-        else:
-            Path(args.profile).write_text(report + "\n")
-            print(f"profile written to {args.profile}")
-    else:
-        if args.profile is not None:
-            print("--profile requires --backend device; ignoring",
-                  file=sys.stderr)
+    if args.profile is not None and args.backend != "device":
+        print("--profile requires --backend device; ignoring",
+              file=sys.stderr)
+        args.profile = None
+    ctx = _make_obs(args)
+    if ctx is None:
         result = cluster_graph(args.graph, params, backend=args.backend)
+    else:
+        from repro.obs import use_obs
+
+        device = None
+        with use_obs(ctx):
+            if args.backend == "device":
+                from repro.core.pipeline import GpClust
+                from repro.device.device import SimulatedDevice
+
+                graph, io_seconds = timed_load(args.graph)
+                device = SimulatedDevice()
+                result = GpClust(params).run(graph, io_seconds=io_seconds,
+                                             device=device)
+            else:
+                result = cluster_graph(args.graph, params,
+                                       backend=args.backend)
+        _emit_obs(args, ctx, device=device)
     if args.out:
         np.savez_compressed(args.out, labels=result.labels)
         print(f"labels written to {args.out}")
@@ -184,36 +269,38 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     names = [header.split()[0] for header, _ in records]
     print(f"read {len(records)} sequences from {args.fasta}")
 
-    homology = build_homology_graph(
-        sequences,
-        HomologyConfig(pair_filter=args.pair_filter,
-                       min_normalized_score=args.min_score,
-                       n_jobs=args.jobs))
-    print(f"homology: {homology.n_candidate_pairs} candidate pairs -> "
-          f"{homology.n_edges} edges")
-
+    if args.profile is not None and args.backend != "device":
+        print("--profile requires --backend device; ignoring",
+              file=sys.stderr)
+        args.profile = None
+    ctx = _make_obs(args)
     params = _params_from_args(args)
-    if args.profile is not None and args.backend == "device":
-        import json
-
-        from repro.core.pipeline import GpClust
-        from repro.device.device import SimulatedDevice
-
-        device = SimulatedDevice()
-        result = GpClust(params).run(homology.graph, device=device)
-        profile = {"homology": homology.timings.as_dict(),
-                   "device": device.profile()}
-        report = json.dumps(profile, indent=2, sort_keys=True)
-        if args.profile == "-":
-            print(report)
-        else:
-            Path(args.profile).write_text(report + "\n")
-            print(f"profile written to {args.profile}")
-    else:
-        if args.profile is not None:
-            print("--profile requires --backend device; ignoring",
-                  file=sys.stderr)
+    homology_config = HomologyConfig(pair_filter=args.pair_filter,
+                                     min_normalized_score=args.min_score,
+                                     n_jobs=args.jobs)
+    if ctx is None:
+        homology = build_homology_graph(sequences, homology_config)
+        print(f"homology: {homology.n_candidate_pairs} candidate pairs -> "
+              f"{homology.n_edges} edges")
         result = cluster_graph(homology.graph, params, backend=args.backend)
+    else:
+        from repro.obs import use_obs
+
+        device = None
+        with use_obs(ctx):
+            homology = build_homology_graph(sequences, homology_config)
+            print(f"homology: {homology.n_candidate_pairs} candidate pairs "
+                  f"-> {homology.n_edges} edges")
+            if args.backend == "device":
+                from repro.core.pipeline import GpClust
+                from repro.device.device import SimulatedDevice
+
+                device = SimulatedDevice()
+                result = GpClust(params).run(homology.graph, device=device)
+            else:
+                result = cluster_graph(homology.graph, params,
+                                       backend=args.backend)
+        _emit_obs(args, ctx, device=device, homology=homology)
     clusters = result.clusters(min_size=args.min_size)
     rows = []
     for i, members in enumerate(sorted(clusters, key=len, reverse=True)):
@@ -227,6 +314,26 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         np.savez_compressed(args.out, labels=result.labels)
         print(f"labels written to {args.out}")
     return 0
+
+
+def cmd_obs_summary(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, render_summary
+
+    doc = load_trace(args.trace_file)
+    print(render_summary(doc, top_n=args.top))
+    return 0
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome Trace Event JSON of the run "
+                             "(Perfetto-loadable; pool workers and "
+                             "simulated streams appear as separate tracks)")
+    parser.add_argument("--metrics-out", dest="metrics_out", metavar="PATH",
+                        default=None,
+                        help="write the metrics snapshot (counters/gauges/"
+                             "histograms: kernel launches, transfer bytes, "
+                             "scratch reuse, dedup ratios, peak RSS) as JSON")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -255,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "breakdown as JSON (to stdout, or to PATH "
                                 "when given): cost-model launch counts, "
                                 "transfer bytes, scratch-pool reuse counters")
+    _add_obs_args(p_cluster)
     _add_param_args(p_cluster)
     p_cluster.set_defaults(func=cmd_cluster)
 
@@ -295,8 +403,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "filter / self-scores / alignment / graph "
                              "build) and the device kernel profile")
     p_pipe.add_argument("--out", help="write labels to this .npz")
+    _add_obs_args(p_pipe)
     _add_param_args(p_pipe)
     p_pipe.set_defaults(func=cmd_pipeline)
+
+    p_obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_summary = obs_sub.add_parser(
+        "summary", help="where a traced run spent its time")
+    p_obs_summary.add_argument("trace_file", metavar="trace.json",
+                               help="trace written by --trace")
+    p_obs_summary.add_argument("--top", type=int, default=15,
+                               help="number of span rows to show")
+    p_obs_summary.set_defaults(func=cmd_obs_summary)
 
     return parser
 

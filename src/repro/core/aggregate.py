@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.passresult import PassResult
 from repro.device.kernels import SENTINEL, unpack_pairs
 from repro.graph.bipartite import BipartiteCSR
+from repro.obs import get_obs
 from repro.util.mixhash import fold_fingerprint_array
 
 _U32_MAX = np.uint64(0xFFFFFFFF)
@@ -313,6 +314,11 @@ class StreamingAggregator:
             raise ValueError("no partial results to merge")
         if len(parts) == 1:
             return parts[0]
+        with get_obs().tracer.span("aggregate.merge_partials",
+                                   n_partials=len(parts)):
+            return self._merge(parts)
+
+    def _merge(self, parts: list[PassResult]) -> PassResult:
 
         fp_cat = np.concatenate([p.fingerprints for p in parts])
         if fp_cat.size == 0:

@@ -33,6 +33,7 @@ bit-identical to :func:`repro.core.serial.serial_shingle_pass`.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -99,6 +100,7 @@ def device_shingle_pass(
     elements = np.asarray(elements, dtype=np.int64)
     breakdown = device.breakdown
     s, c = config.s, config.c
+    t_start = time.perf_counter()
 
     with breakdown.timing(BUCKET_CPU):
         if max_elements is None:
@@ -125,12 +127,28 @@ def device_shingle_pass(
         chunks = trial_chunks(c, trial_chunk)
 
     if batch_plan.n_batches == 1:
-        return _single_batch_streaming(
+        result = _single_batch_streaming(
             device, elements, batch_plan.batches[0], chunks, config, kernel,
             plan, lengths, valid_ids, n_seg, n_values)
-    return _multi_batch_accumulate(
-        device, elements, batch_plan, chunks, config, kernel, plan,
-        lengths, valid_ids, n_seg, n_values)
+    else:
+        result = _multi_batch_accumulate(
+            device, elements, batch_plan, chunks, config, kernel, plan,
+            lengths, valid_ids, n_seg, n_values)
+
+    # Dedup accounting: how many (trial, segment) shingle occurrence slots
+    # collapsed into distinct fingerprints this pass (the shingle dedup
+    # ratio the bench JSONs report).
+    metrics = device.obs.metrics
+    metrics.counter("shingle.occurrence_slots").add(int(c) * valid_ids.size)
+    metrics.counter("shingle.distinct_fps").add(int(result.n_shingles))
+    tracer = device.obs.tracer
+    if tracer.enabled:
+        tracer.record("exec.shingle_pass", t_start, time.perf_counter(),
+                      attrs={"mode": plan.mode, "kernel": kernel, "c": c,
+                             "s": s, "n_segments": n_seg,
+                             "n_batches": batch_plan.n_batches,
+                             "n_shingles": int(result.n_shingles)})
+    return result
 
 
 def _run_chunks(plan: ExecutionPlan, chunks, work) -> None:
@@ -139,7 +157,10 @@ def _run_chunks(plan: ExecutionPlan, chunks, work) -> None:
         for lo, hi in chunks:
             work(lo, hi)
         return
-    with ThreadPoolExecutor(max_workers=plan.n_workers) as executor:
+    # The prefix names each worker's spans' track ("stream_0", "stream_1",
+    # ...) so concurrent kernel rounds render as separate trace tracks.
+    with ThreadPoolExecutor(max_workers=plan.n_workers,
+                            thread_name_prefix="stream") as executor:
         futures = [executor.submit(work, lo, hi) for lo, hi in chunks]
         for future in futures:
             future.result()
@@ -192,13 +213,16 @@ def _single_batch_streaming(
     d_gen = (device.upload(valid_ids.astype(np.uint32))
              if use_reduce else None)
 
+    tracer = device.obs.tracer
+
     def run_chunk_reduce(lo: int, hi: int) -> None:
         fps, members, gen_counts, gens = device.shingle_chunk_reduce(
             d_elem, d_indptr, d_gen,
             a=a[lo:hi], b=b[lo:hi], prime=config.prime, s=s,
             salts=salts[lo:hi], seg_ids=seg_ids_table, n_values=n_values,
             label=f"trials {lo}-{hi - 1}")
-        with breakdown.timing(BUCKET_CPU):
+        with breakdown.timing(BUCKET_CPU), \
+                tracer.span("exec.chunk_aggregate"):
             gen_indptr = np.zeros(gen_counts.size + 1, dtype=np.int64)
             np.cumsum(gen_counts, out=gen_indptr[1:])
             partial = PassResult(
@@ -219,7 +243,8 @@ def _single_batch_streaming(
             salts=salts[lo:hi], kernel=kernel, seg_ids=seg_ids_table,
             n_values=n_values,
             out_fps=fps_buf, out_top=top_buf, label=f"trials {lo}-{hi - 1}")
-        with breakdown.timing(BUCKET_CPU):
+        with breakdown.timing(BUCKET_CPU), \
+                tracer.span("exec.chunk_aggregate"):
             partial = aggregate_pass(fps_buf, top_buf, lengths, s,
                                      segment_ids=valid_ids, n_segments=n_seg)
             aggregator.add(lo, partial)
@@ -232,7 +257,7 @@ def _single_batch_streaming(
         buffers = [d_elem, d_indptr] + ([d_gen] if d_gen is not None else [])
         device.free(*buffers)
 
-    with breakdown.timing(BUCKET_CPU):
+    with breakdown.timing(BUCKET_CPU), tracer.span("exec.merge_partials"):
         if aggregator.n_partials == 0:
             # c == 0 degenerate case: an empty pass over n_seg segments.
             return aggregate_pass(np.empty((0, n_rows), dtype=np.uint64),
@@ -276,7 +301,8 @@ def _multi_batch_accumulate(
         return (device.upload(batch.slice_elements(elements)),
                 device.upload(batch.local_indptr))
 
-    uploader = (ThreadPoolExecutor(max_workers=1)
+    tracer = device.obs.tracer
+    uploader = (ThreadPoolExecutor(max_workers=1, thread_name_prefix="copy")
                 if plan.mode == EXEC_PREFETCH else None)
     pending = None
     try:
@@ -322,7 +348,8 @@ def _multi_batch_accumulate(
         if uploader is not None:
             uploader.shutdown(wait=True)
 
-    with breakdown.timing(BUCKET_CPU):
+    with breakdown.timing(BUCKET_CPU), \
+            tracer.span("exec.aggregate", n_splits=len(split_chunks)):
         if split_chunks:
             merge_splits_into(fps_all, top_all, split_chunks, s, salts)
         result = aggregate_pass(fps_all, top_all, lengths, s,

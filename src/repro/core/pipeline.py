@@ -33,6 +33,7 @@ from repro.device.device import SimulatedDevice
 from repro.device.timingmodels import DeviceSpec
 from repro.graph.csr import CSRGraph
 from repro.graph.io import timed_load
+from repro.obs import get_obs
 from repro.util.timer import BUCKET_CPU, BUCKET_IO, TimeBreakdown
 
 #: Extra measured bucket recording time spent in the two shingling passes of
@@ -55,6 +56,7 @@ class SerialPClust:
         breakdown = TimeBreakdown()
         if io_seconds:
             breakdown.add(BUCKET_IO, io_seconds)
+        tracer = get_obs().tracer
 
         t_start = time.perf_counter()
 
@@ -68,20 +70,24 @@ class SerialPClust:
         shingle_seconds = time.perf_counter() - t0
         breakdown.add(BUCKET_SERIAL_SHINGLING, shingle_seconds)
 
-        if params.grouping == GROUPING_ONE_SHINGLE:
-            output = one_shingle_labels(pass1, graph.n_vertices,
-                                        backend=UNION_UNIONFIND)
-        else:
-            output = report_clusters(
-                pass1, pass2, graph.n_vertices,
-                mode=params.report_mode,
-                backend=UNION_UNIONFIND,
-                include_generators=params.include_generators)
+        with tracer.span("phase3.report", backend="unionfind"):
+            if params.grouping == GROUPING_ONE_SHINGLE:
+                output = one_shingle_labels(pass1, graph.n_vertices,
+                                            backend=UNION_UNIONFIND)
+            else:
+                output = report_clusters(
+                    pass1, pass2, graph.n_vertices,
+                    mode=params.report_mode,
+                    backend=UNION_UNIONFIND,
+                    include_generators=params.include_generators)
         # The cpu bucket holds the NON-shingling remainder (Phase III etc.),
         # so buckets sum to wall time without double-counting the shingling
         # share recorded above.
-        breakdown.add(BUCKET_CPU,
-                      time.perf_counter() - t_start - shingle_seconds)
+        t_end = time.perf_counter()
+        breakdown.add(BUCKET_CPU, t_end - t_start - shingle_seconds)
+        if tracer.enabled:
+            tracer.record("serial_pclust.run", t_start, t_end,
+                          attrs={"n_vertices": graph.n_vertices})
 
         return _make_result(graph.n_vertices, params, "serial", output,
                             breakdown, pass1.n_shingles,
@@ -122,34 +128,50 @@ class GpClust:
             device = SimulatedDevice(self.device_spec, breakdown)
         else:
             device.set_breakdown(breakdown)
+        tracer = device.obs.tracer
+        t_start = time.perf_counter()
 
-        pass1 = device_shingle_pass(
-            graph.indptr, graph.indices, params.pass_config(1), device,
-            kernel=params.kernel, trial_chunk=params.trial_chunk,
-            max_elements=self.max_batch_elements, plan=self.plan)
+        with tracer.span("gpclust.pass1"):
+            pass1 = device_shingle_pass(
+                graph.indptr, graph.indices, params.pass_config(1), device,
+                kernel=params.kernel, trial_chunk=params.trial_chunk,
+                max_elements=self.max_batch_elements, plan=self.plan)
         if params.grouping == GROUPING_ONE_SHINGLE:
-            with breakdown.timing(BUCKET_CPU):
+            with breakdown.timing(BUCKET_CPU), \
+                    tracer.span("phase3.report"):
                 output = one_shingle_labels(pass1, graph.n_vertices,
                                             backend=params.union_backend)
+            self._record_run(tracer, t_start, graph)
             return _make_result(graph.n_vertices, params, "device", output,
                                 breakdown, pass1.n_shingles, 0)
 
-        with breakdown.timing(BUCKET_CPU):
+        with breakdown.timing(BUCKET_CPU), \
+                tracer.span("gpclust.pass2_input"):
             indptr2, elements2 = pass1.next_pass_input()
-        pass2 = device_shingle_pass(
-            indptr2, elements2, params.pass_config(2), device,
-            kernel=params.kernel, trial_chunk=params.trial_chunk,
-            max_elements=self.max_batch_elements, plan=self.plan)
+        with tracer.span("gpclust.pass2"):
+            pass2 = device_shingle_pass(
+                indptr2, elements2, params.pass_config(2), device,
+                kernel=params.kernel, trial_chunk=params.trial_chunk,
+                max_elements=self.max_batch_elements, plan=self.plan)
 
-        with breakdown.timing(BUCKET_CPU):
+        with breakdown.timing(BUCKET_CPU), tracer.span("phase3.report"):
             output = report_clusters(
                 pass1, pass2, graph.n_vertices,
                 mode=params.report_mode,
                 backend=params.union_backend,
                 include_generators=params.include_generators)
 
+        self._record_run(tracer, t_start, graph)
         return _make_result(graph.n_vertices, params, "device", output,
                             breakdown, pass1.n_shingles, pass2.n_shingles)
+
+    @staticmethod
+    def _record_run(tracer, t_start: float, graph: CSRGraph) -> None:
+        """Close the root ``gpclust.run`` span over the whole clustering."""
+        if tracer.enabled:
+            tracer.record("gpclust.run", t_start, time.perf_counter(),
+                          attrs={"n_vertices": graph.n_vertices,
+                                 "n_edges": graph.n_edges})
 
 
 def _make_result(n_vertices: int, params: ShinglingParams, backend: str,

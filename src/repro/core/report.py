@@ -28,6 +28,7 @@ from repro.core.params import (
 from repro.core.passresult import PassResult
 from repro.graph.components import bipartite_components
 from repro.graph.unionfind import UnionFind, union_edges, union_groups
+from repro.obs import get_obs
 
 
 def _phase3_groups(pass1: PassResult, pass2: PassResult,
@@ -157,21 +158,27 @@ def partition_labels(pass1: PassResult, pass2: PassResult, n_vertices: int,
     (sets ordered by their smallest vertex id == order of first appearance),
     so both backends return identical arrays.
     """
+    tracer = get_obs().tracer
     if backend == UNION_VECTORIZED:
         src, dst = _phase3_edges(pass1, pass2, include_generators)
-        roots = union_edges(n_vertices, src, dst)
+        with tracer.span("phase3.union", backend=backend,
+                         n_vertices=n_vertices, n_union_edges=int(src.size)):
+            roots = union_edges(n_vertices, src, dst)
         # roots[i] is the min vertex id of i's set, so np.unique's sorted
         # order equals order of first appearance — inverse is canonical.
         _, labels = np.unique(roots, return_inverse=True)
         return labels.astype(np.int64)
     offsets, flat = _phase3_groups(pass1, pass2, include_generators)
     if backend == UNION_UNIONFIND:
-        uf = UnionFind(n_vertices)
-        flat_list = flat.tolist()
-        bounds = offsets.tolist()
-        for lo, hi in zip(bounds[:-1], bounds[1:]):
-            uf.union_group(flat_list[lo:hi])
-        return uf.labels()
+        with tracer.span("phase3.union", backend=backend,
+                         n_vertices=n_vertices,
+                         n_groups=int(offsets.size - 1)):
+            uf = UnionFind(n_vertices)
+            flat_list = flat.tolist()
+            bounds = offsets.tolist()
+            for lo, hi in zip(bounds[:-1], bounds[1:]):
+                uf.union_group(flat_list[lo:hi])
+            return uf.labels()
     raise ValueError(f"unknown union backend {backend!r}")
 
 

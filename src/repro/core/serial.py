@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.params import PassConfig
 from repro.core.passresult import PassResult
 from repro.graph.bipartite import BipartiteCSR
+from repro.obs import get_obs
 from repro.util.mixhash import fold_fingerprint
 
 
@@ -66,6 +67,9 @@ def serial_shingle_pass(indptr: np.ndarray, elements: np.ndarray,
     coeffs = [(p.a, p.b) for p in config.hash_pairs]
     salts = [int(x) for x in config.salts.tolist()]
 
+    tracer = get_obs().tracer
+    t0 = tracer.clock() if tracer.enabled else 0.0
+
     indptr_l = np.asarray(indptr, dtype=np.int64).tolist()
     elements_l = np.asarray(elements, dtype=np.int64).tolist()
     n_seg = len(indptr_l) - 1
@@ -88,7 +92,12 @@ def serial_shingle_pass(indptr: np.ndarray, elements: np.ndarray,
             else:
                 entry[1].append(seg)
 
-    return _table_to_passresult(table, s, n_seg)
+    result = _table_to_passresult(table, s, n_seg)
+    if tracer.enabled:
+        tracer.record("serial.shingle_pass", t0, tracer.clock(),
+                      attrs={"n_segments": n_seg, "c": len(coeffs), "s": s,
+                             "n_shingles": int(result.n_shingles)})
+    return result
 
 
 def _table_to_passresult(table: dict[int, tuple[tuple[int, ...], list[int]]],

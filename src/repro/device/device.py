@@ -30,6 +30,7 @@ import numpy as np
 from repro.device import kernels
 from repro.device.memory import DeviceBuffer, DeviceMemory, ScratchPool
 from repro.device.timingmodels import DeviceSpec
+from repro.obs import MetricsRegistry, ObsContext, get_obs
 from repro.util.timer import BUCKET_C2G, BUCKET_G2C, BUCKET_GPU, TimeBreakdown
 
 #: Valid values of the ``kernel`` argument of :meth:`SimulatedDevice.shingle_batch`.
@@ -41,7 +42,7 @@ class SimulatedDevice:
 
     def __init__(self, spec: DeviceSpec | None = None,
                  breakdown: TimeBreakdown | None = None,
-                 timeline=None) -> None:
+                 timeline=None, obs: ObsContext | None = None) -> None:
         self.spec = spec or DeviceSpec()
         self.memory = DeviceMemory(self.spec.memory_capacity_bytes, self.spec.transfer)
         self.breakdown = breakdown if breakdown is not None else TimeBreakdown()
@@ -51,9 +52,20 @@ class SimulatedDevice:
         # Recycled kernel working arrays: after the first round of a given
         # batch geometry, kernel launches allocate nothing fresh.
         self.scratch = ScratchPool()
-        # Per-kernel-class launch/element/modeled-second counters, harvested
-        # by profile() (and the --profile CLI flag).
-        self.kernel_stats: dict[str, dict] = {}
+        # Observability: kernel launch accounting always flows into a real
+        # metrics registry (profile() reads it back), shared with the
+        # ambient registry when one is active so a single snapshot() sees
+        # the device; spans go to the ambient tracer (no-op by default).
+        if obs is None:
+            ambient = get_obs()
+            metrics = (ambient.metrics if ambient.metrics.enabled
+                       else MetricsRegistry())
+            obs = ObsContext(tracer=ambient.tracer, metrics=metrics)
+        elif not obs.metrics.enabled:
+            obs = ObsContext(tracer=obs.tracer, metrics=MetricsRegistry())
+        self.obs = obs
+        # name -> (launches, elements, modeled_s) registry counters.
+        self._kernel_counters: dict[str, tuple] = {}
         self._stats_lock = threading.Lock()
 
     def set_breakdown(self, breakdown: TimeBreakdown) -> None:
@@ -61,12 +73,43 @@ class SimulatedDevice:
         self.breakdown = breakdown
 
     def _record_kernel(self, name: str, n_elements: int, modeled_s: float) -> None:
+        counters = self._kernel_counters.get(name)
+        if counters is None:
+            metrics = self.obs.metrics
+            with self._stats_lock:
+                counters = self._kernel_counters.setdefault(name, (
+                    metrics.counter(f"device.kernel.{name}.launches"),
+                    metrics.counter(f"device.kernel.{name}.elements"),
+                    metrics.counter(f"device.kernel.{name}.modeled_s")))
+        launches, elements, modeled = counters
+        launches.add(1)
+        elements.add(int(n_elements))
+        modeled.add(modeled_s)
+
+    @property
+    def kernel_stats(self) -> dict[str, dict]:
+        """Per-kernel-class launch counters (obs-registry-backed view)."""
         with self._stats_lock:
-            entry = self.kernel_stats.setdefault(
-                name, {"launches": 0, "elements": 0, "modeled_s": 0.0})
-            entry["launches"] += 1
-            entry["elements"] += int(n_elements)
-            entry["modeled_s"] += modeled_s
+            return {name: {"launches": c[0].value, "elements": c[1].value,
+                           "modeled_s": c[2].value}
+                    for name, c in sorted(self._kernel_counters.items())}
+
+    def sync_metrics(self) -> None:
+        """Mirror transfer/scratch accounting into the metrics registry.
+
+        Transfer bytes and scratch-pool counters accumulate in their own
+        structures on the hot path (one lock each, no per-call registry
+        lookups); this copies their totals into gauges so one
+        ``metrics.snapshot()`` carries the whole device picture.
+        """
+        metrics = self.obs.metrics
+        metrics.gauge("device.h2d_bytes").set(self.memory.bytes_to_device)
+        metrics.gauge("device.d2h_bytes").set(self.memory.bytes_to_host)
+        metrics.gauge("device.peak_device_bytes").set(self.memory.peak_bytes)
+        metrics.gauge("device.scratch.hits").set(self.scratch.n_reuses)
+        metrics.gauge("device.scratch.misses").set(self.scratch.n_allocations)
+        metrics.gauge("device.scratch.peak_bytes").set(
+            self.scratch.bytes_allocated)
 
     def profile(self) -> dict:
         """Machine-readable breakdown: kernel launches, bytes, pool counters.
@@ -74,14 +117,13 @@ class SimulatedDevice:
         The per-kernel-launch view future perf work reads instead of editing
         benchmark code: counts and modeled seconds from the device cost
         model, transfer byte totals, scratch-pool reuse counters, and the
-        measured wall-clock buckets of the attached breakdown.
+        measured wall-clock buckets of the attached breakdown.  All counts
+        live in the obs metrics registry; this assembles the stable shape.
         """
-        with self._stats_lock:
-            kernel_stats = {name: dict(entry)
-                            for name, entry in sorted(self.kernel_stats.items())}
+        self.sync_metrics()
         return {
             "device": self.spec.name,
-            "kernels": kernel_stats,
+            "kernels": self.kernel_stats,
             "transfers": {
                 "bytes_to_device": self.memory.bytes_to_device,
                 "bytes_to_host": self.memory.bytes_to_host,
@@ -104,20 +146,30 @@ class SimulatedDevice:
         """Host -> device copy (synchronous), charged to ``data_c2g``."""
         t0 = time.perf_counter()
         buf, modeled = self.memory.to_device(host_array)
-        self.breakdown.add(BUCKET_C2G, time.perf_counter() - t0)
+        t1 = time.perf_counter()
+        self.breakdown.add(BUCKET_C2G, t1 - t0)
         self.breakdown.add_modeled(BUCKET_C2G, modeled)
         if self.timeline is not None:
             self.timeline.record(BUCKET_C2G, "upload", modeled)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.record("device.upload", t0, t1,
+                          attrs={"bytes": buf.nbytes, "modeled_s": modeled})
         return buf
 
     def download(self, buffer: DeviceBuffer) -> np.ndarray:
         """Device -> host copy (synchronous), charged to ``data_g2c``."""
         t0 = time.perf_counter()
         data, modeled = self.memory.to_host(buffer)
-        self.breakdown.add(BUCKET_G2C, time.perf_counter() - t0)
+        t1 = time.perf_counter()
+        self.breakdown.add(BUCKET_G2C, t1 - t0)
         self.breakdown.add_modeled(BUCKET_G2C, modeled)
         if self.timeline is not None:
             self.timeline.record(BUCKET_G2C, "download", modeled)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.record("device.download", t0, t1,
+                          attrs={"bytes": data.nbytes, "modeled_s": modeled})
         return data
 
     def download_into(self, buffer: DeviceBuffer, out: np.ndarray) -> np.ndarray:
@@ -129,10 +181,15 @@ class SimulatedDevice:
         """
         t0 = time.perf_counter()
         modeled = self.memory.to_host_into(buffer, out)
-        self.breakdown.add(BUCKET_G2C, time.perf_counter() - t0)
+        t1 = time.perf_counter()
+        self.breakdown.add(BUCKET_G2C, t1 - t0)
         self.breakdown.add_modeled(BUCKET_G2C, modeled)
         if self.timeline is not None:
             self.timeline.record(BUCKET_G2C, "download", modeled)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.record("device.download", t0, t1,
+                          attrs={"bytes": out.nbytes, "modeled_s": modeled})
         return out
 
     def free(self, *buffers: DeviceBuffer) -> None:
@@ -305,7 +362,13 @@ class SimulatedDevice:
             scratch=pool, out=fps)
         d_top = self.memory.adopt(top)
         d_fps = self.memory.adopt(fps)
-        self.breakdown.add(BUCKET_GPU, time.perf_counter() - t0)
+        t1 = time.perf_counter()
+        self.breakdown.add(BUCKET_GPU, t1 - t0)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.record("device.shingle_chunk", t0, t1,
+                          attrs={"kernel": kernel, "trials": t, "nnz": nnz,
+                                 "n_seg": n_seg, "label": label})
         transform_s = self.spec.kernels.seconds_for("transform", t * nnz)
         select_s = self.spec.kernels.seconds_for(
             kernel_class,
@@ -395,7 +458,13 @@ class SimulatedDevice:
             d_gen_ids.device_view(), n_values, scratch=pool)
         d_out = [self.memory.adopt(arr)
                  for arr in (fps, members, gen_counts, gens)]
-        self.breakdown.add(BUCKET_GPU, time.perf_counter() - t0)
+        t1 = time.perf_counter()
+        self.breakdown.add(BUCKET_GPU, t1 - t0)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.record("device.shingle_chunk_reduce", t0, t1,
+                          attrs={"trials": t, "nnz": nnz, "n_seg": n_seg,
+                                 "k_chunk": int(fps.size), "label": label})
         transform_s = self.spec.kernels.seconds_for("transform", t * nnz)
         select_s = self.spec.kernels.seconds_for(
             "select", kernels.count_kernel_elements("select", t, nnz, n_seg, s))

@@ -1,0 +1,84 @@
+"""``repro.obs`` — unified tracing + metrics for the whole pipeline.
+
+The observability subsystem the runtime analysis is built on (the paper's
+Table I component split and Figure 4 kernel decomposition, generalized):
+
+* :class:`Tracer` / :func:`traced` — nested timed spans with attributes,
+  exported as run-summary JSON (:meth:`Tracer.summary`) and Chrome Trace
+  Event JSON (:mod:`repro.obs.chrome_trace`, Perfetto-loadable, with
+  process-pool workers and kernel streams as separate tracks);
+* :class:`MetricsRegistry` — counters/gauges/histograms (kernel launches,
+  transfer bytes, scratch hits/misses, pairs kept/dropped, dedup ratios,
+  peak RSS) with a single :meth:`~MetricsRegistry.snapshot`;
+* :func:`observe` / :func:`use_obs` / :func:`get_obs` — the ambient
+  context instrumented layers consult; :data:`NULL_OBS` (the default)
+  makes every instrumentation site a near-free no-op.
+
+See ``docs/OBSERVABILITY.md`` for the API walkthrough and how to read a
+Perfetto trace of a Table-I run.
+"""
+
+from repro.obs.chrome_trace import (
+    load_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.context import (
+    NULL_OBS,
+    ObsContext,
+    get_obs,
+    observe,
+    set_obs,
+    use_obs,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    peak_rss_bytes,
+)
+from repro.obs.summary import render_summary, summarize_trace
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    timed,
+    traced,
+    worker_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "ObsContext",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "get_obs",
+    "load_trace",
+    "observe",
+    "peak_rss_bytes",
+    "render_summary",
+    "set_obs",
+    "summarize_trace",
+    "timed",
+    "to_chrome_trace",
+    "traced",
+    "use_obs",
+    "validate_chrome_trace",
+    "worker_tracer",
+    "write_chrome_trace",
+]

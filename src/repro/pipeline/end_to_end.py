@@ -20,6 +20,7 @@ from repro.device.timingmodels import DeviceSpec
 from repro.eval.confusion import QualityScores, quality_scores
 from repro.eval.density import density_summary
 from repro.eval.partition import Partition
+from repro.obs import get_obs, peak_rss_bytes
 from repro.sequence.generator import SequenceFamilyConfig, SyntheticProteinSet, generate_protein_families
 from repro.sequence.homology import HomologyConfig, HomologyResult, build_homology_graph
 
@@ -76,14 +77,28 @@ def run_end_to_end(
         homology_config = dataclasses.replace(
             homology_config or HomologyConfig(), n_jobs=n_jobs)
 
-    homology = build_homology_graph(protein_set.sequences, homology_config)
-    clustering = GpClust(params, device_spec).run(homology.graph)
+    obs = get_obs()
+    tracer = obs.tracer
+    t_start = tracer.clock() if tracer.enabled else 0.0
 
-    test = Partition(clustering.labels)
-    benchmark = Partition(protein_set.family_labels)
-    quality = quality_scores(test, benchmark, min_size=min_cluster_size)
-    dens_mean, dens_std = density_summary(homology.graph, test,
-                                          min_size=min_cluster_size)
+    with tracer.span("e2e.homology"):
+        homology = build_homology_graph(protein_set.sequences,
+                                        homology_config)
+    with tracer.span("e2e.clustering"):
+        clustering = GpClust(params, device_spec).run(homology.graph)
+
+    with tracer.span("e2e.quality"):
+        test = Partition(clustering.labels)
+        benchmark = Partition(protein_set.family_labels)
+        quality = quality_scores(test, benchmark, min_size=min_cluster_size)
+        dens_mean, dens_std = density_summary(homology.graph, test,
+                                              min_size=min_cluster_size)
+
+    obs.metrics.gauge("process.peak_rss_bytes").set_max(peak_rss_bytes())
+    if tracer.enabled:
+        tracer.record("e2e.run", t_start, tracer.clock(),
+                      attrs={"n_sequences": protein_set.n_sequences,
+                             "n_edges": homology.n_edges})
 
     return EndToEndReport(
         protein_set=protein_set,

@@ -17,12 +17,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.obs import get_obs, timed, worker_tracer
 from repro.sequence.arena import SequenceArena
 from repro.sequence.kmer_filter import candidate_pairs
 from repro.sequence.scoring import BLOSUM62
@@ -162,20 +162,29 @@ def _score_shard(sequences, pairs, denom, matrix, config, keep_scores):
 _WORKER: dict = {}
 
 
-def _init_worker(arena_name, n_sequences, matrix, config, keep_scores):
+def _init_worker(arena_name, n_sequences, matrix, config, keep_scores,
+                 trace=False):
     arena = SequenceArena.attach(arena_name, n_sequences)
     _WORKER["arena"] = arena
     _WORKER["sequences"] = arena.sequences()
     _WORKER["matrix"] = matrix
     _WORKER["config"] = config
     _WORKER["keep_scores"] = keep_scores
+    # Each worker gets its own tracer (proc label "sw-worker-<pid>"); the
+    # records ride back to the parent with the shard result and are merged
+    # onto the parent timeline (perf_counter is system-wide monotonic).
+    _WORKER["tracer"] = worker_tracer(trace, "sw-worker")
 
 
 def _score_shard_remote(task):
-    pairs, denom = task
-    return _score_shard(_WORKER["sequences"], pairs, denom,
-                        _WORKER["matrix"], _WORKER["config"],
-                        _WORKER["keep_scores"])
+    shard, pairs, denom = task
+    tracer = _WORKER["tracer"]
+    with tracer.span("homology.align.shard", shard=shard,
+                     n_pairs=int(pairs.shape[0])):
+        result = _score_shard(_WORKER["sequences"], pairs, denom,
+                              _WORKER["matrix"], _WORKER["config"],
+                              _WORKER["keep_scores"])
+    return result + (tracer.drain(),)
 
 
 def _shard_bounds(n_pairs: int, chunk_size: int, n_jobs: int):
@@ -210,21 +219,28 @@ def build_homology_graph(sequences: list[np.ndarray],
     config = config or HomologyConfig()
     timings = HomologyTimings()
     n = len(sequences)
+    obs = get_obs()
+    tracer = obs.tracer
+    metrics = obs.metrics
+    t_start = tracer.clock() if tracer.enabled else 0.0
 
-    t0 = time.perf_counter()
-    if config.pair_filter == "suffix":
-        from repro.sequence.suffix import candidate_pairs_suffix
+    with timed(tracer, "homology.seed_filter",
+               filter=config.pair_filter) as stage:
+        if config.pair_filter == "suffix":
+            from repro.sequence.suffix import candidate_pairs_suffix
 
-        pairs = candidate_pairs_suffix(sequences,
-                                       min_match_len=config.min_match_len,
-                                       max_run=config.max_kmer_occurrence)
-    else:
-        pairs = candidate_pairs(sequences, k=config.k,
-                                min_shared=config.min_shared_kmers,
-                                max_kmer_occurrence=config.max_kmer_occurrence)
-    timings.seed_filter_s = time.perf_counter() - t0
+            pairs = candidate_pairs_suffix(
+                sequences, min_match_len=config.min_match_len,
+                max_run=config.max_kmer_occurrence)
+        else:
+            pairs = candidate_pairs(
+                sequences, k=config.k, min_shared=config.min_shared_kmers,
+                max_kmer_occurrence=config.max_kmer_occurrence)
+        stage.set(n_pairs=int(pairs.shape[0]))
+    timings.seed_filter_s = stage.elapsed
 
     n_pairs = int(pairs.shape[0])
+    metrics.counter("homology.candidate_pairs").add(n_pairs)
     if n_pairs == 0:
         return HomologyResult(
             graph=CSRGraph.from_edges(np.empty((0, 2), dtype=np.int64),
@@ -234,49 +250,65 @@ def build_homology_graph(sequences: list[np.ndarray],
 
     # Self-scores, lazily: only sequences referenced by a candidate pair
     # are ever used as a denominator, so score just those in one batch.
-    t0 = time.perf_counter()
-    refs = np.unique(pairs)
-    selfs = np.zeros(n, dtype=np.int64)
-    selfs[refs] = batch_self_scores([sequences[i] for i in refs], matrix)
-    denom = np.minimum(selfs[pairs[:, 0]], selfs[pairs[:, 1]])
-    timings.self_scores_s = time.perf_counter() - t0
+    with timed(tracer, "homology.self_scores") as stage:
+        refs = np.unique(pairs)
+        selfs = np.zeros(n, dtype=np.int64)
+        selfs[refs] = batch_self_scores([sequences[i] for i in refs], matrix)
+        denom = np.minimum(selfs[pairs[:, 0]], selfs[pairs[:, 1]])
+        stage.set(n_refs=int(refs.size))
+    timings.self_scores_s = stage.elapsed
 
-    t0 = time.perf_counter()
     n_jobs = _resolve_jobs(config.n_jobs)
     shards = _shard_bounds(n_pairs, config.chunk_size, n_jobs)
     score_blocks: list[np.ndarray] = []
     edge_blocks: list[np.ndarray] = []
-    if n_jobs > 1 and len(shards) > 1:
-        tasks = [(pairs[lo:hi], denom[lo:hi]) for lo, hi in shards]
-        ctx = (multiprocessing.get_context("fork")
-               if "fork" in multiprocessing.get_all_start_methods()
-               else multiprocessing.get_context())
-        with SequenceArena.pack(sequences) as arena:
-            with ctx.Pool(processes=min(n_jobs, len(shards)),
-                          initializer=_init_worker,
-                          initargs=(arena.name, n, matrix, config,
-                                    keep_scores)) as pool:
-                # imap preserves shard order: deterministic merge.
-                for block, kept_pairs, _ in pool.imap(_score_shard_remote,
-                                                      tasks):
-                    if keep_scores:
-                        score_blocks.append(block)
-                    edge_blocks.append(kept_pairs)
-    else:
-        for lo, hi in shards:
-            block, kept_pairs, _ = _score_shard(
-                sequences, pairs[lo:hi], denom[lo:hi], matrix, config,
-                keep_scores)
-            if keep_scores:
-                score_blocks.append(block)
-            edge_blocks.append(kept_pairs)
-    timings.alignment_s = time.perf_counter() - t0
+    with timed(tracer, "homology.alignment", n_pairs=n_pairs,
+               n_jobs=n_jobs, n_shards=len(shards)) as stage:
+        if n_jobs > 1 and len(shards) > 1:
+            tasks = [(i, pairs[lo:hi], denom[lo:hi])
+                     for i, (lo, hi) in enumerate(shards)]
+            ctx = (multiprocessing.get_context("fork")
+                   if "fork" in multiprocessing.get_all_start_methods()
+                   else multiprocessing.get_context())
+            with SequenceArena.pack(sequences) as arena:
+                with ctx.Pool(processes=min(n_jobs, len(shards)),
+                              initializer=_init_worker,
+                              initargs=(arena.name, n, matrix, config,
+                                        keep_scores,
+                                        tracer.enabled)) as pool:
+                    # imap preserves shard order: deterministic merge.
+                    for block, kept_pairs, _, spans in pool.imap(
+                            _score_shard_remote, tasks):
+                        if spans:
+                            tracer.absorb(spans)
+                        if keep_scores:
+                            score_blocks.append(block)
+                        edge_blocks.append(kept_pairs)
+        else:
+            for i, (lo, hi) in enumerate(shards):
+                with tracer.span("homology.align.shard", shard=i,
+                                 n_pairs=hi - lo):
+                    block, kept_pairs, _ = _score_shard(
+                        sequences, pairs[lo:hi], denom[lo:hi], matrix,
+                        config, keep_scores)
+                if keep_scores:
+                    score_blocks.append(block)
+                edge_blocks.append(kept_pairs)
+    timings.alignment_s = stage.elapsed
 
-    t0 = time.perf_counter()
-    edges = (np.concatenate(edge_blocks, axis=0) if edge_blocks
-             else np.empty((0, 2), dtype=np.int64))
-    graph = CSRGraph.from_edges(edges, n_vertices=n)
-    timings.graph_build_s = time.perf_counter() - t0
+    with timed(tracer, "homology.graph_build") as stage:
+        edges = (np.concatenate(edge_blocks, axis=0) if edge_blocks
+                 else np.empty((0, 2), dtype=np.int64))
+        graph = CSRGraph.from_edges(edges, n_vertices=n)
+        stage.set(n_edges=graph.n_edges)
+    timings.graph_build_s = stage.elapsed
+
+    metrics.counter("homology.edges_kept").add(graph.n_edges)
+    metrics.counter("homology.pairs_dropped").add(n_pairs - graph.n_edges)
+    if tracer.enabled:
+        tracer.record("homology.build", t_start, tracer.clock(),
+                      attrs={"n_sequences": n, "n_candidate_pairs": n_pairs,
+                             "n_edges": graph.n_edges})
 
     if keep_scores:
         normalized = np.concatenate(score_blocks)

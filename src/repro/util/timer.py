@@ -12,7 +12,51 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
+
+# ---------------------------------------------------------------------- #
+# Clock injection
+# ---------------------------------------------------------------------- #
+#
+# Every timing primitive in the repository reads the clock through
+# :func:`clock` rather than calling ``time.perf_counter`` directly (and
+# never ``time.time``, whose wall-clock jumps would corrupt durations).
+# Tests inject a deterministic fake via :func:`set_clock`/:func:`fake_clock`
+# so timing assertions stop depending on scheduler noise.
+
+_CLOCK: Callable[[], float] = time.perf_counter
+
+
+def clock() -> float:
+    """Monotonic seconds from the currently-installed clock source."""
+    return _CLOCK()
+
+
+def set_clock(fn: Callable[[], float]) -> Callable[[], float]:
+    """Install a clock source; returns the previous one (for restoration)."""
+    global _CLOCK
+    previous = _CLOCK
+    _CLOCK = fn
+    return previous
+
+
+@contextmanager
+def fake_clock(fn: Callable[[], float]) -> Iterator[Callable[[], float]]:
+    """Temporarily install ``fn`` as the clock source.
+
+    >>> ticks = iter(range(100))
+    >>> with fake_clock(lambda: float(next(ticks))):
+    ...     sw = Stopwatch()
+    ...     with sw:
+    ...         pass
+    >>> sw.elapsed
+    1.0
+    """
+    previous = set_clock(fn)
+    try:
+        yield fn
+    finally:
+        set_clock(previous)
 
 
 class Stopwatch:
@@ -32,12 +76,12 @@ class Stopwatch:
     def start(self) -> None:
         if self._started_at is not None:
             raise RuntimeError("stopwatch already running")
-        self._started_at = time.perf_counter()
+        self._started_at = clock()
 
     def stop(self) -> float:
         if self._started_at is None:
             raise RuntimeError("stopwatch not running")
-        delta = time.perf_counter() - self._started_at
+        delta = clock() - self._started_at
         self.elapsed += delta
         self._started_at = None
         return delta
@@ -103,11 +147,11 @@ class TimeBreakdown:
     @contextmanager
     def timing(self, bucket: str) -> Iterator[None]:
         """Context manager that adds the elapsed wall time to ``bucket``."""
-        t0 = time.perf_counter()
+        t0 = clock()
         try:
             yield
         finally:
-            self.add(bucket, time.perf_counter() - t0)
+            self.add(bucket, clock() - t0)
 
     def get(self, bucket: str) -> float:
         return self.measured.get(bucket, 0.0)
