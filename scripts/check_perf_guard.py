@@ -9,8 +9,12 @@ which is why the guard is tolerance-based rather than exact; improvements
 never fail.
 
 ``--reference-key`` selects which mapping of the reference file holds the
-guarded rows: ``table1_rows`` (clustering bench vs BENCH_PR2.json) or
-``homology_rows`` (homology-construction bench vs BENCH_PR3.json).
+guarded rows: ``table1_rows`` (clustering bench vs BENCH_PR2.json),
+``homology_rows`` (homology-construction bench vs BENCH_PR6.json), or
+``device_alignment_rows`` (the device backend's alignment row, also in
+BENCH_PR6.json).  ``--metric`` picks which per-row value is compared
+(default ``total_s``; the device row is guarded on ``alignment_s`` and
+``padding_waste``).  Guarded metrics must be lower-is-better.
 
 ``--max-overhead-pct`` switches to observability-overhead mode: the
 measured file is then a ``trace_overhead.json`` written by
@@ -40,7 +44,8 @@ from pathlib import Path
 
 
 def check(measured: dict, reference: dict, tolerance: float,
-          reference_key: str = "table1_rows") -> list[str]:
+          reference_key: str = "table1_rows",
+          metric: str = "total_s") -> list[str]:
     """Return a list of failure messages (empty == pass)."""
     failures = []
     ref_rows = reference[reference_key]
@@ -49,16 +54,20 @@ def check(measured: dict, reference: dict, tolerance: float,
         if name not in got_rows:
             failures.append(f"{name}: missing from measured results")
             continue
-        ref_total = float(ref["total_s"])
-        got_total = float(got_rows[name]["total_s"])
-        limit = ref_total * (1.0 + tolerance)
-        verdict = "OK" if got_total <= limit else "REGRESSION"
-        print(f"{name}: total {got_total:.4f}s vs reference {ref_total:.4f}s "
-              f"(limit {limit:.4f}s, tolerance {tolerance:.0%}) -> {verdict}")
-        if got_total > limit:
+        if metric not in got_rows[name]:
+            failures.append(f"{name}: metric {metric!r} missing from "
+                            f"measured results")
+            continue
+        ref_val = float(ref[metric])
+        got_val = float(got_rows[name][metric])
+        limit = ref_val * (1.0 + tolerance)
+        verdict = "OK" if got_val <= limit else "REGRESSION"
+        print(f"{name}: {metric} {got_val:.4f} vs reference {ref_val:.4f} "
+              f"(limit {limit:.4f}, tolerance {tolerance:.0%}) -> {verdict}")
+        if got_val > limit:
             failures.append(
-                f"{name}: total {got_total:.4f}s exceeds {limit:.4f}s "
-                f"({got_total / ref_total - 1.0:+.1%} vs reference)")
+                f"{name}: {metric} {got_val:.4f} exceeds {limit:.4f} "
+                f"({got_val / ref_val - 1.0:+.1%} vs reference)")
     return failures
 
 
@@ -89,6 +98,9 @@ def main(argv: list[str] | None = None) -> int:
                              "guarded rows (table1_rows, homology_rows)")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed fractional total-time regression")
+    parser.add_argument("--metric", default="total_s",
+                        help="per-row value to compare (lower is better), "
+                             "e.g. total_s, alignment_s, padding_waste")
     parser.add_argument("--max-overhead-pct", type=float, default=None,
                         metavar="PCT",
                         help="observability-overhead mode: fail when the "
@@ -102,7 +114,8 @@ def main(argv: list[str] | None = None) -> int:
     else:
         reference = json.loads(Path(args.reference).read_text())
         failures = check(measured, reference, args.tolerance,
-                         reference_key=args.reference_key)
+                         reference_key=args.reference_key,
+                         metric=args.metric)
     if failures:
         print("\nPERF GUARD FAILED:", file=sys.stderr)
         for line in failures:

@@ -2,7 +2,8 @@
 """CI traced smoke run: trace the Table-I "2m" config and bound the cost.
 
 Runs the 2M-analogue clustering workload twice — observation off, then on —
-and writes three artifacts under ``benchmarks/results/``:
+then a traced homology build on the device alignment backend, and writes
+these artifacts under ``benchmarks/results/``:
 
 ``trace_2m.json``
     The Chrome Trace Event export of the traced run (Perfetto-loadable),
@@ -13,15 +14,20 @@ and writes three artifacts under ``benchmarks/results/``:
     stops being near-free.
 ``trace_2m_summary.txt``
     The ``repro obs summary`` rendering of the trace, for humans.
+``trace_homology_device.json`` / ``trace_homology_device_summary.txt``
+    The Chrome Trace export (and rendering) of a homology-graph build run
+    with ``--align-backend device``: alignment bins must appear as
+    ``device.align_bin`` spans, which this script asserts.
 
 The script also asserts the tracer's own accounting: the root
 ``gpclust.run`` span must reconcile with the pipeline's reported wall time
-within 5%, and the trace document must pass schema validation.  Exits
+within 5%, and both trace documents must pass schema validation.  Exits
 non-zero on any violation.
 
 Usage::
 
     PYTHONPATH=src python scripts/run_traced_smoke.py [--repeats 3]
+        [--align-backend device]
 """
 
 from __future__ import annotations
@@ -67,6 +73,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed repetitions per mode (min is kept)")
+    parser.add_argument("--align-backend", default="device",
+                        help="alignment backend for the traced homology "
+                             "run (auto/host/pool/device)")
     parser.add_argument("--out-dir", default=str(RESULTS_DIR),
                         help="artifact directory")
     args = parser.parse_args(argv)
@@ -125,6 +134,43 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"root span {root_s:.4f}s does not reconcile with reported "
                 f"wall time {reported_s:.4f}s (drift {drift:.2%})")
+
+    # --- homology build on the device alignment backend -----------------
+    import dataclasses
+
+    from repro.pipeline.workloads import make_homology_workload
+    from repro.sequence.homology import build_homology_graph
+
+    protein_set, h_config = make_homology_workload(scale)
+    h_config = dataclasses.replace(h_config,
+                                   align_backend=args.align_backend)
+    h_ctx = observe()
+    with use_obs(h_ctx):
+        h_result = build_homology_graph(protein_set.sequences, h_config)
+    h_records = h_ctx.tracer.records
+    h_doc = write_chrome_trace(
+        out_dir / "trace_homology_device.json", h_records, h_ctx.tracer.t0,
+        metadata={"workload": "homology", "scale": scale,
+                  "align_backend": h_result.align_backend,
+                  "metrics": h_ctx.metrics.snapshot(),
+                  "spans": h_ctx.tracer.summary()})
+    validate_chrome_trace(h_doc)
+    (out_dir / "trace_homology_device_summary.txt").write_text(
+        render_summary(h_doc) + "\n")
+    bin_spans = [r for r in h_records if r.name == "device.align_bin"]
+    print(f"homology trace ({h_result.align_backend} backend): "
+          f"{len(h_records)} spans, {len(bin_spans)} device.align_bin, "
+          f"{h_result.n_edges} edges -> "
+          f"{out_dir / 'trace_homology_device.json'}")
+    if args.align_backend == "device":
+        if h_result.align_backend != "device":
+            failures.append(
+                f"homology run resolved to {h_result.align_backend!r}, "
+                f"not 'device'")
+        if not bin_spans:
+            failures.append(
+                "device-backend homology trace has no device.align_bin "
+                "spans (alignment bins are not visible as device work)")
 
     overhead_doc = {
         "name": "trace_overhead",

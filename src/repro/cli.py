@@ -277,7 +277,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     params = _params_from_args(args)
     homology_config = HomologyConfig(pair_filter=args.pair_filter,
                                      min_normalized_score=args.min_score,
-                                     n_jobs=args.jobs)
+                                     n_jobs=args.jobs,
+                                     align_backend=args.align_backend)
     if ctx is None:
         homology = build_homology_graph(sequences, homology_config)
         print(f"homology: {homology.n_candidate_pairs} candidate pairs -> "
@@ -288,14 +289,21 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
 
         device = None
         with use_obs(ctx):
-            homology = build_homology_graph(sequences, homology_config)
+            if args.backend == "device":
+                # One device for the whole run: the alignment offload (when
+                # --align-backend resolves to device) and the clustering
+                # pass share its scratch pool, so --profile shows the sw_*
+                # kernels next to the shingling ones.
+                from repro.device.device import SimulatedDevice
+
+                device = SimulatedDevice()
+            homology = build_homology_graph(sequences, homology_config,
+                                            device=device)
             print(f"homology: {homology.n_candidate_pairs} candidate pairs "
                   f"-> {homology.n_edges} edges")
             if args.backend == "device":
                 from repro.core.pipeline import GpClust
-                from repro.device.device import SimulatedDevice
 
-                device = SimulatedDevice()
                 result = GpClust(params).run(homology.graph, device=device)
             else:
                 result = cluster_graph(homology.graph, params,
@@ -396,6 +404,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="alignment worker processes for homology-graph "
                              "construction (0 = all cores; results are "
                              "identical for any value)")
+    p_pipe.add_argument("--align-backend", dest="align_backend",
+                        choices=["auto", "host", "pool", "device"],
+                        default="auto",
+                        help="Smith-Waterman scoring backend: in-process "
+                             "(host), process pool (pool, uses --jobs), "
+                             "simulated-device offload with length-binned "
+                             "packing (device), or a cost-model choice "
+                             "(auto); scores and edges are identical for "
+                             "every backend")
     p_pipe.add_argument("--profile", nargs="?", const="-", default=None,
                         metavar="PATH",
                         help="emit a JSON timing breakdown covering both "

@@ -30,7 +30,12 @@ busy seconds.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, TypeVar
+
+_T = TypeVar("_T")
+_P = TypeVar("_P")
 
 EXEC_SYNC = "sync"
 EXEC_PREFETCH = "prefetch"
@@ -49,6 +54,36 @@ def trial_chunks(c: int, trial_chunk: int) -> list[tuple[int, int]]:
     if trial_chunk < 1:
         raise ValueError("trial_chunk must be >= 1")
     return [(lo, min(lo + trial_chunk, c)) for lo in range(0, c, trial_chunk)]
+
+
+def double_buffer(items: Iterable[_T],
+                  prepare: Callable[[_T], _P]) -> Iterator[tuple[_T, _P]]:
+    """Yield ``(item, prepare(item))`` with the next item prepared early.
+
+    The generic schedule behind the ``prefetch`` execution mode: while the
+    consumer processes item *i*, a single worker thread runs ``prepare`` on
+    item *i+1* (NumPy-heavy prepare work releases the GIL, so it genuinely
+    overlaps the consumer's kernels).  Results come back strictly in order,
+    so downstream output is bit-identical to the sequential schedule.  The
+    device aligner runs its bin loop through this to pack alignment bin
+    *i+1* while bin *i* scores; the shingling driver in
+    :mod:`repro.core.device_exec` keeps its own equivalent inline schedule
+    because its prepare step (batch upload) must interleave with explicit
+    ``device.free`` calls.
+    """
+    it = iter(items)
+    try:
+        head = next(it)
+    except StopIteration:
+        return
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        pending = pool.submit(prepare, head)
+        for nxt in it:
+            prepared = pending.result()
+            next_pending = pool.submit(prepare, nxt)
+            yield head, prepared
+            head, pending = nxt, next_pending
+        yield head, pending.result()
 
 
 @dataclass(frozen=True)

@@ -19,14 +19,25 @@ equivalent that exercises the same code paths:
   stated future work) execution streams.
 """
 
-from repro.device.batching import Batch, BatchPlan, plan_batches
+from repro.device.alignment import DeviceAligner
+from repro.device.batching import (
+    AlignmentBin,
+    AlignmentBinPlan,
+    Batch,
+    BatchPlan,
+    plan_alignment_bins,
+    plan_batches,
+)
 from repro.device.device import SimulatedDevice
 from repro.device.memory import DeviceBuffer, DeviceMemory, DeviceMemoryError
 from repro.device.timingmodels import DeviceSpec, KernelCostModel, TransferModel
 
 __all__ = [
+    "AlignmentBin",
+    "AlignmentBinPlan",
     "Batch",
     "BatchPlan",
+    "DeviceAligner",
     "DeviceBuffer",
     "DeviceMemory",
     "DeviceMemoryError",
@@ -34,5 +45,6 @@ __all__ = [
     "KernelCostModel",
     "SimulatedDevice",
     "TransferModel",
+    "plan_alignment_bins",
     "plan_batches",
 ]

@@ -1,0 +1,492 @@
+"""Device-offloaded batched Smith-Waterman.
+
+pGraph keeps "the optimality-guaranteeing Smith-Waterman alignment
+algorithm" on the CPU side and parallelizes it across processors; this
+module moves the same batched row-scan DP onto the simulated device, the
+way the shingling hot loop already runs there.  The structure mirrors the
+shingling offload end to end:
+
+* the sequence set is uploaded **once** as a flat CSR residue buffer
+  (:func:`repro.sequence.arena.flatten_sequences`) — the exact wire layout
+  the process-pool arena uses, so host and device paths share one
+  representation;
+* candidate pairs are grouped into dtype- and length-homogeneous bins
+  (:func:`repro.device.batching.plan_alignment_bins`) so the padded DP
+  rectangle wastes a bounded fraction of cells (``padding_waste``);
+* each bin runs *pack* (a CSR gather into padded transposed blocks) then
+  *rowscan* kernels whose state lives in the device
+  :class:`~repro.device.memory.ScratchPool` — zero fresh allocations in
+  the steady state — with every launch costed through the
+  :class:`~repro.device.timingmodels.KernelCostModel` and every transfer
+  through the PCIe model;
+* bins are scheduled by an :class:`~repro.core.execplan.ExecutionPlan`:
+  ``sync`` (one bin at a time), ``prefetch`` (pack bin *i+1* on a copy
+  thread while bin *i* scores, via
+  :func:`~repro.core.execplan.double_buffer`) or ``multistream``
+  (concurrent bins on disjoint output slices).  All plans are
+  bit-identical.
+
+The kernels themselves are a *ramped-domain* reformulation of the host
+row scan (:mod:`repro.sequence.smith_waterman`): keeping
+``H'[j] = H[j] + step * j`` bakes the left-gap ramp into the score matrix,
+so the per-row ramp-add / ramp-subtract / shift passes disappear and the
+left-gap chain is a plain prefix max — computed by a work-efficient
+two-level blocked scan (the standard GPU scan shape: intra-block upsweep,
+sequential block carry, carry application).  Scores are bit-identical to
+:func:`~repro.sequence.smith_waterman.batch_smith_waterman` /
+:func:`~repro.sequence.smith_waterman.batch_smith_waterman_affine` for
+both gap models: the per-cell candidates are the same integers shifted by
+an invertible per-column offset, and the bin planner keys its dtype cuts
+on the shared :func:`~repro.sequence.smith_waterman.dp_dtype` rule.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.execplan import (
+    EXEC_MULTISTREAM,
+    EXEC_PREFETCH,
+    ExecutionPlan,
+    double_buffer,
+)
+from repro.device.batching import AlignmentBin, AlignmentBinPlan, plan_alignment_bins
+from repro.device.device import SimulatedDevice
+from repro.device.memory import ScratchPool
+from repro.sequence.alphabet import ALPHABET_SIZE
+from repro.sequence.arena import flatten_sequences
+from repro.sequence.scoring import BLOSUM62
+# The pad/negative-floor constants and the padded score matrix are shared
+# with the host kernels on purpose: bit-identity across backends depends on
+# both paths saturating at the same values.
+from repro.sequence.smith_waterman import (
+    _I16_NEG,
+    _score_matrix,
+    dp_dtype,
+    orient_pair_lengths,
+)
+from repro.util.timer import BUCKET_GPU
+
+_PAD = ALPHABET_SIZE
+_MAT_DIM = ALPHABET_SIZE + 1
+
+#: Rows per scan block of the two-level prefix max (one "thread block").
+BLK = 32
+
+
+def _neg_floor(dtype: np.dtype):
+    return dtype.type(_I16_NEG if dtype == np.int16 else -(1 << 26))
+
+
+def ramped_score_matrix(matrix: np.ndarray, dtype: np.dtype,
+                        step: int) -> np.ndarray:
+    """Flattened padded score matrix with the scan step baked in.
+
+    In the ramped domain every diagonal candidate picks up exactly ``+step``
+    relative to its predecessor column, so adding ``step`` to every matrix
+    entry (pad entries included — they stay hugely negative) turns the
+    per-row ramp bookkeeping into a no-op.
+    """
+    m = _score_matrix(matrix, dtype)
+    m += dtype.type(step)
+    return m.ravel()
+
+
+def pack_bin_blocks(residues: np.ndarray, offsets: np.ndarray,
+                    short_ids: np.ndarray, long_ids: np.ndarray,
+                    max_short: int, max_long: int
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Gather one bin's pairs from flat CSR into padded transposed blocks.
+
+    Returns ``(arow, bt)``: ``arow`` is ``(max_short, B)`` holding the
+    short sequences' symbols pre-scaled to score-matrix row offsets, ``bt``
+    the long block transposed to ``(max_long, B)``.  ``residues`` must be
+    the int16-widened device buffer (see :meth:`DeviceAligner.
+    upload_sequences`): row ``i``'s substitution scores are then one
+    ``bt + arow[i]`` add plus one flat ``take`` — the composite index never
+    exceeds ``22 * 22``, so the whole gather stays in int16 lanes.  Pure
+    array ops (one strided gather per block), no per-pair Python loop.
+    """
+    arow = _gather_padded(residues, offsets, short_ids, max(max_short, 1))
+    arow *= np.int16(_MAT_DIM)
+    bt = _gather_padded(residues, offsets, long_ids, max(max_long, 1))
+    return arow, bt
+
+
+def _gather_padded(residues: np.ndarray, offsets: np.ndarray,
+                   ids: np.ndarray, width: int) -> np.ndarray:
+    """``(width, B)`` int16 column-per-sequence block, PAD-filled."""
+    starts = offsets[ids]
+    lens = offsets[ids + 1] - starts
+    col = np.arange(width, dtype=np.int64)[:, None]
+    mask = col < lens[None, :]
+    idx = starts[None, :] + np.where(mask, col, 0)
+    block = np.empty(idx.shape, dtype=residues.dtype)
+    if residues.size:
+        # mode="clip" skips the bounds check; masked-out lanes are
+        # overwritten below, so their clipped reads are immaterial.
+        np.take(residues, idx, out=block, mode="clip")
+    block[~mask] = _PAD
+    return block
+
+
+def _scan_blocked(v: np.ndarray, carry: np.ndarray) -> None:
+    """Two-level blocked prefix max down the row axis, in place.
+
+    ``v`` is the DP row reshaped ``(nb, BLK, B)``; ``carry`` is ``(nb, B)``
+    scratch.  Level 1 runs the doubling scan inside each block
+    (``log2(BLK)`` whole-array passes); level 2 accumulates block totals
+    sequentially and applies ``carry[i-1]`` to block ``i`` — exactly
+    ``np.maximum.accumulate`` down axis 0 of the flat view, but every pass
+    is a contiguous SIMD maximum instead of a strided scalar scan.
+    Padding rows live only in the final block (the caller pads to a BLK
+    multiple), and a prefix max only flows forward, so their garbage never
+    reaches real rows.
+    """
+    k = 1
+    while k < BLK:
+        np.maximum(v[:, k:], v[:, :-k], out=v[:, k:])
+        k <<= 1
+    np.copyto(carry, v[:, -1])
+    for i in range(1, carry.shape[0]):
+        np.maximum(carry[i], carry[i - 1], out=carry[i])
+    np.maximum(v[1:], carry[:-1, None, :], out=v[1:])
+
+
+def rowscan_linear_binned(arow: np.ndarray, bt: np.ndarray,
+                          matrix: np.ndarray, gap: int, dtype: np.dtype,
+                          pool: ScratchPool) -> np.ndarray:
+    """Ramped-domain linear-gap row scan over one packed bin.
+
+    State is ``H'[j] = H[j] + gap * j`` transposed to ``(pad_lb, B)``:
+
+    * diagonal candidate: ``H'[i-1][j-1] + (sub[j] + gap)`` — the ``+gap``
+      is baked into the matrix (:func:`ramped_score_matrix`);
+    * up candidate: ``H'[i-1][j] - gap``;
+    * zero candidate: the ramp itself;
+    * left chain: a plain prefix max (:func:`_scan_blocked`).
+
+    ``hmax`` tracks the pre-scan candidates only — sound because an optimal
+    local alignment never ends in a gap — and the final scores are
+    ``max_j (hmax'[j] - gap * j)``.  Bit-identical to
+    :func:`repro.sequence.smith_waterman._rowscan_linear`.
+    """
+    la, n_pairs = arow.shape
+    lb = bt.shape[0]
+    nb = -(-lb // BLK)
+    pad_lb = nb * BLK
+    g = dtype.type(gap)
+    neg = _neg_floor(dtype)
+    mat_flat = ramped_score_matrix(matrix, dtype, gap)
+    ramp = (np.arange(pad_lb) * gap).astype(dtype)[:, None]
+
+    h_prev = pool.take((pad_lb, n_pairs), dtype)
+    hmax = pool.take((pad_lb, n_pairs), dtype)
+    tmp = pool.take((pad_lb, n_pairs), dtype)
+    carry = pool.take((nb, n_pairs), dtype)
+    idx16 = pool.take((lb, n_pairs), np.int16)
+    sub = pool.take((lb, n_pairs), dtype)
+
+    h_prev[:lb] = ramp[:lb]
+    h_prev[lb:] = neg
+    np.copyto(hmax, h_prev)
+    for i in range(la):
+        np.add(bt, arow[i][None, :], out=idx16)
+        np.take(mat_flat, idx16, out=sub, mode="clip")
+        np.add(h_prev[:lb - 1], sub[1:], out=tmp[1:lb])   # diagonal'
+        np.subtract(sub[0], g, out=tmp[0])                # j=0: prev H is 0
+        np.subtract(h_prev[:lb], g, out=sub)              # up' (sub reused)
+        np.maximum(tmp[:lb], sub, out=tmp[:lb])
+        np.maximum(tmp[:lb], ramp[:lb], out=tmp[:lb])     # zero candidate
+        tmp[lb:] = neg
+        np.maximum(hmax, tmp, out=hmax)
+        _scan_blocked(tmp.reshape(nb, BLK, n_pairs), carry)
+        h_prev, tmp = tmp, h_prev
+    np.subtract(hmax[:lb], ramp[:lb], out=hmax[:lb])
+    scores = hmax[:lb].max(axis=0).astype(np.int64) if la else \
+        np.zeros(n_pairs, dtype=np.int64)
+    pool.give(h_prev, hmax, tmp, carry, idx16, sub)
+    return scores
+
+
+def rowscan_affine_binned(arow: np.ndarray, bt: np.ndarray,
+                          matrix: np.ndarray, gap_open: int, gap_extend: int,
+                          dtype: np.dtype, pool: ScratchPool) -> np.ndarray:
+    """Ramped-domain Gotoh row scan over one packed bin.
+
+    Same ramp trick with ``step = min(gap_open, gap_extend)`` (the F-chain
+    decay rate, see :func:`repro.sequence.smith_waterman._rowscan_affine`):
+    ``E`` stays elementwise per row in the ramped domain, the F chain is
+    ``F'[j] = scan'[j-1] - (gap_open - step)`` off the same blocked prefix
+    max.  Bit-identical to the host affine kernel.
+    """
+    la, n_pairs = arow.shape
+    lb = bt.shape[0]
+    nb = -(-lb // BLK)
+    pad_lb = nb * BLK
+    step = min(gap_open, gap_extend)
+    o = dtype.type(gap_open)
+    e = dtype.type(gap_extend)
+    st = dtype.type(step)
+    fo = dtype.type(gap_open - step)
+    neg = _neg_floor(dtype)
+    mat_flat = ramped_score_matrix(matrix, dtype, step)
+    ramp = (np.arange(pad_lb) * step).astype(dtype)[:, None]
+
+    h_prev = pool.take((pad_lb, n_pairs), dtype)
+    hmax = pool.take((pad_lb, n_pairs), dtype)
+    tmp = pool.take((pad_lb, n_pairs), dtype)
+    scratch = pool.take((pad_lb, n_pairs), dtype)
+    e_row = pool.take((pad_lb, n_pairs), dtype)
+    carry = pool.take((nb, n_pairs), dtype)
+    idx16 = pool.take((lb, n_pairs), np.int16)
+    sub = pool.take((lb, n_pairs), dtype)
+
+    h_prev[:lb] = ramp[:lb]
+    h_prev[lb:] = neg
+    np.copyto(hmax, h_prev)
+    e_row[:] = neg
+    for i in range(la):
+        np.add(bt, arow[i][None, :], out=idx16)
+        np.take(mat_flat, idx16, out=sub, mode="clip")
+        # E'[i] = max(E'[i-1] - extend, H'[i-1] - open)
+        np.subtract(e_row[:lb], e, out=e_row[:lb])
+        np.subtract(h_prev[:lb], o, out=scratch[:lb])
+        np.maximum(e_row[:lb], scratch[:lb], out=e_row[:lb])
+        np.add(h_prev[:lb - 1], sub[1:], out=tmp[1:lb])   # diagonal'
+        np.subtract(sub[0], st, out=tmp[0])
+        np.maximum(tmp[:lb], e_row[:lb], out=tmp[:lb])
+        np.maximum(tmp[:lb], ramp[:lb], out=tmp[:lb])     # T'[i]
+        tmp[lb:] = neg
+        np.maximum(hmax, tmp, out=hmax)
+        np.copyto(scratch, tmp)
+        _scan_blocked(scratch.reshape(nb, BLK, n_pairs), carry)
+        h_prev, tmp = tmp, h_prev
+        # H' = max(T', F');  F'[j] = scan'[j-1] - (open - step).
+        np.subtract(scratch[:lb - 1], fo, out=scratch[:lb - 1])
+        np.maximum(h_prev[1:lb], scratch[:lb - 1], out=h_prev[1:lb])
+    np.subtract(hmax[:lb], ramp[:lb], out=hmax[:lb])
+    scores = hmax[:lb].max(axis=0).astype(np.int64) if la else \
+        np.zeros(n_pairs, dtype=np.int64)
+    pool.give(h_prev, hmax, tmp, scratch, e_row, carry, idx16, sub)
+    return scores
+
+
+class DeviceAligner:
+    """Batched Smith-Waterman scoring on a :class:`SimulatedDevice`.
+
+    Usage mirrors the shingling driver: :meth:`upload_sequences` moves the
+    flat residue buffer across the link once, then :meth:`batch_scores`
+    bins, packs and scores any number of pair sets against it.  Every
+    launch/transfer is accounted on the device (wall + modeled buckets,
+    kernel counters, tracer spans), and ``device.obs.metrics`` accumulates
+    the alignment-specific series (``device.align.*``) the benchmarks and
+    the Chrome trace read.
+    """
+
+    def __init__(self, device: SimulatedDevice | None = None, *,
+                 matrix: np.ndarray = BLOSUM62,
+                 plan: ExecutionPlan | None = None,
+                 max_pairs_per_bin: int = 384,
+                 max_waste: float = 0.25,
+                 min_pairs_per_bin: int = 32) -> None:
+        self.device = device if device is not None else SimulatedDevice()
+        self.matrix = matrix
+        self.plan = plan if plan is not None else ExecutionPlan()
+        self.max_pairs_per_bin = max_pairs_per_bin
+        self.max_waste = max_waste
+        self.min_pairs_per_bin = min_pairs_per_bin
+        self._d_residues = None
+        self._d_offsets = None
+        self._d_residues16 = None
+        self._lengths: np.ndarray | None = None
+        #: Bin plan of the most recent :meth:`batch_scores` call.
+        self.last_plan: AlignmentBinPlan | None = None
+
+    # ------------------------------------------------------------------ #
+    # Sequence residency
+    # ------------------------------------------------------------------ #
+
+    def upload_sequences(self, sequences: list[np.ndarray]) -> None:
+        """Upload the sequence set as flat CSR (h2d-accounted), replacing
+        any previously resident set.
+
+        The uint8 wire buffer is widened once on the device to int16 (one
+        transform launch) so every subsequent bin pack gathers directly
+        into the int16 index lanes the kernels consume.
+        """
+        residues, offsets = flatten_sequences(
+            [np.asarray(s, dtype=np.uint8) for s in sequences])
+        self.release()
+        device = self.device
+        self._lengths = np.diff(offsets)
+        self._d_residues = device.upload(residues)
+        self._d_offsets = device.upload(offsets)
+        t0 = time.perf_counter()
+        wide = self._d_residues.device_view().astype(np.int16)
+        self._d_residues16 = device.memory.adopt(wide)
+        t1 = time.perf_counter()
+        device.breakdown.add(BUCKET_GPU, t1 - t0)
+        modeled = device.spec.kernels.seconds_for("transform", wide.size)
+        device._record_kernel("sw_widen", wide.size, modeled)
+        device.breakdown.add_modeled(BUCKET_GPU, modeled)
+
+    def release(self) -> None:
+        """Free the device-resident sequence buffers."""
+        if self._d_residues is not None:
+            self.device.free(self._d_residues, self._d_offsets,
+                             self._d_residues16)
+            self._d_residues = self._d_offsets = self._d_residues16 = None
+            self._lengths = None
+
+    def __enter__(self) -> "DeviceAligner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+
+    def batch_scores(self, pairs: np.ndarray, *, gap_model: str = "linear",
+                     gap: int = 8, gap_open: int = 11,
+                     gap_extend: int = 1) -> np.ndarray:
+        """Smith-Waterman scores of ``pairs`` rows against the resident set.
+
+        ``pairs`` is ``(n, 2)`` sequence ids.  Returns ``(n,)`` int64
+        scores, bit-identical to the host batched kernels under the same
+        gap model.  Bins run under :attr:`plan`'s schedule.
+        """
+        if self._d_residues is None:
+            raise RuntimeError("no sequences resident; call upload_sequences")
+        if gap_model not in ("linear", "affine"):
+            raise ValueError(f"unknown gap_model {gap_model!r}")
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        n = pairs.shape[0]
+        out = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            self.last_plan = AlignmentBinPlan(
+                bins=[], order=np.empty(0, dtype=np.int64))
+            return out
+
+        penalties = (gap,) if gap_model == "linear" else (gap_open, gap_extend)
+        lengths = self._lengths
+        short_lens, long_lens = orient_pair_lengths(pairs, lengths)
+        swap = lengths[pairs[:, 0]] > lengths[pairs[:, 1]]
+        short_ids = np.where(swap, pairs[:, 1], pairs[:, 0])
+        long_ids = np.where(swap, pairs[:, 0], pairs[:, 1])
+        plan = plan_alignment_bins(
+            short_lens, long_lens,
+            lambda s, l: dp_dtype(s, l, self.matrix, penalties),
+            max_pairs=self.max_pairs_per_bin, max_waste=self.max_waste,
+            min_pairs=self.min_pairs_per_bin)
+        self.last_plan = plan
+
+        # The pair table rides to the device like any other kernel input.
+        d_pairs = self.device.upload(pairs)
+
+        def pack(bin_: AlignmentBin):
+            return self._pack_bin(bin_, plan.order, short_ids, long_ids)
+
+        def score(bin_: AlignmentBin, packed) -> None:
+            self._score_bin(bin_, packed, plan, gap_model, gap, gap_open,
+                            gap_extend, out)
+
+        try:
+            if self.plan.mode == EXEC_PREFETCH and plan.n_bins > 1:
+                for bin_, packed in double_buffer(plan.bins, pack):
+                    score(bin_, packed)
+            elif self.plan.mode == EXEC_MULTISTREAM and plan.n_bins > 1:
+                # Bins write disjoint slices of ``out``; concurrent
+                # execution cannot reorder anything observable.
+                def run(bin_: AlignmentBin) -> None:
+                    score(bin_, pack(bin_))
+
+                with ThreadPoolExecutor(
+                        max_workers=self.plan.streams) as streams:
+                    futures = [streams.submit(run, bin_)
+                               for bin_ in plan.bins]
+                    for f in futures:
+                        f.result()
+            else:
+                for bin_ in plan.bins:
+                    score(bin_, pack(bin_))
+        finally:
+            self.device.free(d_pairs)
+
+        self._record_plan_metrics(plan)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Per-bin stages
+    # ------------------------------------------------------------------ #
+
+    def _pack_bin(self, bin_: AlignmentBin, order: np.ndarray,
+                  short_ids: np.ndarray, long_ids: np.ndarray):
+        device = self.device
+        t0 = time.perf_counter()
+        members = order[bin_.order_lo:bin_.order_hi]
+        residues = self._d_residues16.device_view()
+        offsets = self._d_offsets.device_view()
+        arow, bt = pack_bin_blocks(residues, offsets, short_ids[members],
+                                   long_ids[members], bin_.max_short,
+                                   bin_.max_long)
+        t1 = time.perf_counter()
+        device.breakdown.add(BUCKET_GPU, t1 - t0)
+        n_el = arow.size + bt.size
+        modeled = device.spec.kernels.seconds_for("transform", n_el)
+        device._record_kernel("sw_pack", n_el, modeled)
+        device.breakdown.add_modeled(BUCKET_GPU, modeled)
+        return arow, bt
+
+    def _score_bin(self, bin_: AlignmentBin, packed,
+                   plan: AlignmentBinPlan, gap_model: str, gap: int,
+                   gap_open: int, gap_extend: int, out: np.ndarray) -> None:
+        device = self.device
+        arow, bt = packed
+        t0 = time.perf_counter()
+        d_work = device.memory.adopt(bt)      # bin working set, device-resident
+        if gap_model == "affine":
+            scores = rowscan_affine_binned(arow, bt, self.matrix, gap_open,
+                                           gap_extend, bin_.dtype,
+                                           device.scratch)
+        else:
+            scores = rowscan_linear_binned(arow, bt, self.matrix, gap,
+                                           bin_.dtype, device.scratch)
+        d_scores = device.memory.adopt(scores)
+        t1 = time.perf_counter()
+        device.breakdown.add(BUCKET_GPU, t1 - t0)
+        cells = bin_.padded_cells
+        rowscan_s = device.spec.kernels.seconds_for("transform", cells)
+        scan_s = device.spec.kernels.seconds_for("scan", cells)
+        device._record_kernel("sw_rowscan", cells, rowscan_s)
+        device._record_kernel("sw_scan", cells, scan_s)
+        device.breakdown.add_modeled(BUCKET_GPU, rowscan_s + scan_s)
+        tracer = device.obs.tracer
+        if tracer.enabled:
+            tracer.record(
+                "device.align_bin", t0, t1,
+                attrs={"n_pairs": bin_.n_pairs, "la": bin_.max_short,
+                       "lb": bin_.max_long, "dtype": bin_.dtype.name,
+                       "padding_waste": round(bin_.padding_waste, 4)})
+        host_scores = device.download(d_scores)
+        device.free(d_work, d_scores)
+        out[plan.order[bin_.order_lo:bin_.order_hi]] = host_scores
+
+    def _record_plan_metrics(self, plan: AlignmentBinPlan) -> None:
+        metrics = self.device.obs.metrics
+        padded = metrics.counter("device.align.cells_padded")
+        actual = metrics.counter("device.align.cells_actual")
+        padded.add(plan.padded_cells)
+        actual.add(plan.actual_cells)
+        metrics.counter("device.align.pairs").add(int(plan.order.size))
+        metrics.counter("device.align.bins").add(plan.n_bins)
+        # Cumulative wasted-cell fraction across every plan so far.
+        if padded.value:
+            metrics.gauge("device.align.padding_waste").set(
+                round(1.0 - actual.value / padded.value, 6))
+        self.device.sync_metrics()

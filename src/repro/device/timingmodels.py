@@ -43,7 +43,9 @@ class KernelCostModel:
 
     ``transform`` covers the elementwise hash map; ``sort`` the segmented
     sort (Thrust radix-sort class throughput); ``select`` the segmented
-    top-s selection; ``reduce`` fingerprint folding and similar O(n) passes.
+    top-s selection; ``reduce`` fingerprint folding and similar O(n) passes;
+    ``scan`` block-parallel prefix scans (the alignment kernels' left-gap
+    chain runs one max-plus scan per DP row).
     """
 
     launch_latency_s: float = 5e-6
@@ -51,6 +53,7 @@ class KernelCostModel:
     sort_eps: float = 1.0e9
     select_eps: float = 8e9
     reduce_eps: float = 20e9
+    scan_eps: float = 10e9
 
     def seconds_for(self, kernel: str, n_elements: int) -> float:
         """Modeled seconds for a kernel touching ``n_elements`` elements."""
@@ -59,6 +62,7 @@ class KernelCostModel:
             "sort": self.sort_eps,
             "select": self.select_eps,
             "reduce": self.reduce_eps,
+            "scan": self.scan_eps,
         }
         if kernel not in rates:
             raise ValueError(f"unknown kernel class {kernel!r}")

@@ -28,6 +28,26 @@ import numpy as np
 _OFFSET_DTYPE = np.int64
 
 
+def flatten_sequences(
+        sequences: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack a sequence set into flat CSR form: ``(residues, offsets)``.
+
+    ``residues`` is one contiguous ``uint8`` buffer, ``offsets`` the
+    ``(n+1,)`` int64 boundary table (``offsets[i]:offsets[i+1]`` delimits
+    sequence ``i``).  This is the arena's wire layout without the shared-
+    memory segment — the shape the device aligner uploads, and what
+    :meth:`SequenceArena.pack` writes into its block.
+    """
+    lengths = np.fromiter((s.size for s in sequences), dtype=_OFFSET_DTYPE,
+                          count=len(sequences))
+    offsets = np.zeros(lengths.size + 1, dtype=_OFFSET_DTYPE)
+    np.cumsum(lengths, out=offsets[1:])
+    residues = np.empty(int(offsets[-1]), dtype=np.uint8)
+    for i, seq in enumerate(sequences):
+        residues[offsets[i]:offsets[i + 1]] = np.asarray(seq, dtype=np.uint8)
+    return residues, offsets
+
+
 class SequenceArena:
     """A sequence set packed into one shared-memory segment.
 

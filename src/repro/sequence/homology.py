@@ -5,18 +5,35 @@ Smith-Waterman on the surviving pairs, normalized-score thresholding, and
 assembly of the undirected similarity graph the clustering stage consumes.
 
 pGraph's central observation is that alignment dominates this stage, so it
-distributes alignment work across processors.  We do the same: candidate
-pairs are cut into contiguous shards and scored either in-process
-(``n_jobs=1``) or by a process pool whose workers read sequences from a
-shared-memory arena (:mod:`repro.sequence.arena`) — no sequence pickling,
-and shard results stream back in order, so the output is bit-identical to
-the serial path regardless of worker count.
+distributes alignment work across processors.  We go one step further with
+a *hybrid alignment scheduler* over three interchangeable backends:
+
+``host``
+    Batched row-scan kernels in-process (the serial reference).
+``pool``
+    Contiguous pair shards scored by a process pool whose workers read
+    sequences from a shared-memory arena (:mod:`repro.sequence.arena`) —
+    no sequence pickling, shard results stream back in order.
+``device``
+    The simulated-GPU offload (:class:`repro.device.alignment.DeviceAligner`):
+    length-binned packing and ramped row-scan kernels, with the sequence
+    upload overlapped with the seed-filter stage on a copy thread.
+
+``HomologyConfig.align_backend`` picks one explicitly, or ``auto`` lets a
+cost model choose per workload from the pair count, the total DP cell
+volume, and measured per-backend throughput (an EMA updated after every
+run).  ``auto`` only considers the pool when every worker would get at
+least :data:`MIN_POOL_PAIRS_PER_WORKER` pairs — spawning processes for a
+workload that small loses to serial outright.  All backends are
+bit-identical; only the schedule differs.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,7 +45,16 @@ from repro.sequence.kmer_filter import candidate_pairs
 from repro.sequence.scoring import BLOSUM62
 from repro.sequence.smith_waterman import (batch_self_scores,
                                            batch_smith_waterman,
-                                           batch_smith_waterman_affine)
+                                           batch_smith_waterman_affine,
+                                           orient_pair_lengths)
+
+#: Valid values of :attr:`HomologyConfig.align_backend`.
+ALIGN_BACKENDS = ("auto", "host", "pool", "device")
+
+#: ``auto`` refuses to spawn a process pool unless every worker gets at
+#: least this many pairs — below it, fork + arena setup costs more than
+#: the whole serial alignment (the small-workload parallel regression).
+MIN_POOL_PAIRS_PER_WORKER = 2000
 
 
 @dataclass(frozen=True)
@@ -60,6 +86,12 @@ class HomologyConfig:
         Alignment worker processes.  ``1`` scores shards in-process (the
         default), ``0`` means ``os.cpu_count()``.  Results are identical
         for every value.
+    align_backend:
+        ``"host"``, ``"pool"``, ``"device"``, or ``"auto"`` (default) to
+        let the scheduler choose (see :func:`choose_align_backend`).
+        ``"pool"`` additionally needs ``n_jobs`` workers to use; with one
+        worker it degrades to the host path.  Scores and edges are
+        bit-identical across all backends.
     """
 
     pair_filter: str = "kmer"
@@ -74,10 +106,15 @@ class HomologyConfig:
     min_normalized_score: float = 0.40
     chunk_size: int = 256
     n_jobs: int = 1
+    align_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.pair_filter not in ("kmer", "suffix"):
             raise ValueError(f"unknown pair_filter {self.pair_filter!r}")
+        if self.align_backend not in ALIGN_BACKENDS:
+            raise ValueError(
+                f"unknown align_backend {self.align_backend!r}; "
+                f"expected one of {ALIGN_BACKENDS}")
         if self.gap_model not in ("linear", "affine"):
             raise ValueError(f"unknown gap_model {self.gap_model!r}")
         if not 0.0 < self.min_normalized_score <= 1.0:
@@ -130,6 +167,8 @@ class HomologyResult:
     normalized_scores: np.ndarray = field(repr=False)
     pairs: np.ndarray = field(repr=False)
     timings: HomologyTimings | None = field(default=None, repr=False)
+    #: Backend that actually scored the pairs (None when nothing aligned).
+    align_backend: str | None = None
 
 
 # ---------------------------------------------------------------------- #
@@ -200,21 +239,106 @@ def _resolve_jobs(n_jobs: int) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# Hybrid alignment scheduler
+# ---------------------------------------------------------------------- #
+
+#: Priors for the scheduler's cost model, refined by measurement: DP cells
+#: per second for the in-process row scan and the device bins, fixed setup
+#: costs for the offload (upload + bin launches) and the pool (fork +
+#: arena), and the fraction of linear scaling a pool worker typically
+#: achieves (scatter/merge and memory-bandwidth sharing eat the rest).
+_HOST_CELLS_PER_S = 1.8e8
+_DEVICE_CELLS_PER_S = 3.0e8
+_DEVICE_FIXED_S = 3e-3
+_POOL_SPAWN_S = 0.25
+_POOL_EFFICIENCY = 0.7
+
+_throughput_lock = threading.Lock()
+_measured_cells_per_s: dict[str, float] = {}
+
+
+def observe_alignment_throughput(backend: str, cells: int,
+                                 seconds: float) -> None:
+    """Feed a measured alignment back into the scheduler's cost model.
+
+    Keeps an exponential moving average (alpha 0.5) of DP cells per second
+    per backend, so the second run on a machine schedules from measured
+    rates instead of priors.  Pool rates are aggregate (spawn included).
+    """
+    if cells <= 0 or seconds <= 0:
+        return
+    rate = cells / seconds
+    with _throughput_lock:
+        prev = _measured_cells_per_s.get(backend)
+        _measured_cells_per_s[backend] = (
+            rate if prev is None else 0.5 * (prev + rate))
+
+
+def _estimated_seconds(n_pairs: int, total_cells: int,
+                       n_jobs: int) -> dict[str, float]:
+    """Cost-model estimate per candidate backend, in seconds."""
+    with _throughput_lock:
+        measured = dict(_measured_cells_per_s)
+    host_rate = measured.get("host", _HOST_CELLS_PER_S)
+    device_rate = measured.get("device", _DEVICE_CELLS_PER_S)
+    est = {
+        "host": total_cells / host_rate,
+        "device": _DEVICE_FIXED_S + total_cells / device_rate,
+    }
+    workers = min(_resolve_jobs(n_jobs), os.cpu_count() or 1)
+    if workers > 1 and n_pairs >= MIN_POOL_PAIRS_PER_WORKER * workers:
+        pool_rate = measured.get("pool")
+        est["pool"] = (total_cells / pool_rate if pool_rate else
+                       _POOL_SPAWN_S + total_cells
+                       / (host_rate * workers * _POOL_EFFICIENCY))
+    return est
+
+
+def choose_align_backend(backend: str, n_pairs: int, total_cells: int,
+                         n_jobs: int) -> str:
+    """Resolve an ``align_backend`` setting to a concrete backend.
+
+    Explicit settings are honored verbatim.  ``auto`` picks the cheapest
+    backend under the cost model: total DP cells over (measured or prior)
+    per-backend throughput plus fixed setup costs.  The pool is a
+    candidate only when the *effective* worker count (``n_jobs`` capped by
+    the machine's cores) exceeds one and every worker would receive at
+    least :data:`MIN_POOL_PAIRS_PER_WORKER` pairs, so ``n_jobs=0`` on a
+    small workload can never lose to serial by spawning anyway.
+    """
+    if backend not in ALIGN_BACKENDS:
+        raise ValueError(f"unknown align_backend {backend!r}")
+    if backend != "auto":
+        return backend
+    est = _estimated_seconds(n_pairs, total_cells, n_jobs)
+    return min(est, key=est.get)
+
+
+# ---------------------------------------------------------------------- #
 # Graph construction
 # ---------------------------------------------------------------------- #
 
 def build_homology_graph(sequences: list[np.ndarray],
                          config: HomologyConfig | None = None,
                          matrix: np.ndarray = BLOSUM62,
-                         keep_scores: bool = True) -> HomologyResult:
+                         keep_scores: bool = True,
+                         device=None) -> HomologyResult:
     """Construct the similarity graph of a sequence set.
 
     Every candidate pair from the seed filter is aligned; pairs whose
     normalized Smith-Waterman score reaches the threshold become undirected
-    edges.  With ``config.n_jobs != 1`` pair shards are scored by a process
-    pool over a shared-memory sequence arena; output is bit-identical to
-    the serial path.  With ``keep_scores=False`` only above-threshold
+    edges.  ``config.align_backend`` selects the scoring backend (host /
+    pool / device, or ``auto`` for the cost model); output is bit-identical
+    across all of them.  With ``keep_scores=False`` only above-threshold
     edges are retained as shards complete, never the full score vector.
+
+    ``device`` optionally supplies the :class:`repro.device.SimulatedDevice`
+    the offload should run on (sharing its scratch pool, metrics and
+    breakdown with other stages); by default the aligner brings its own.
+    When the device backend is in play, the sequence upload starts on a
+    copy thread *before* the seed filter, so the transfer overlaps
+    candidate-pair discovery (the ``prefetch`` execution-plan idea applied
+    across pipeline stages).
     """
     config = config or HomologyConfig()
     timings = HomologyTimings()
@@ -224,6 +348,31 @@ def build_homology_graph(sequences: list[np.ndarray],
     metrics = obs.metrics
     t_start = tracer.clock() if tracer.enabled else 0.0
 
+    aligner = None
+    uploader = None
+    upload = None
+    if config.align_backend in ("auto", "device"):
+        # Deferred import: host-only runs never touch the device package.
+        from repro.core.execplan import EXEC_PREFETCH, ExecutionPlan
+        from repro.device.alignment import DeviceAligner
+
+        aligner = DeviceAligner(device,
+                                plan=ExecutionPlan.from_mode(EXEC_PREFETCH))
+        uploader = ThreadPoolExecutor(max_workers=1,
+                                      thread_name_prefix="align-copy")
+        upload = uploader.submit(aligner.upload_sequences, sequences)
+    try:
+        return _build_graph(sequences, config, matrix, keep_scores, aligner,
+                            upload, timings, n, tracer, metrics, t_start)
+    finally:
+        if uploader is not None:
+            uploader.shutdown(wait=True)
+            if upload.exception() is None:
+                aligner.release()
+
+
+def _build_graph(sequences, config, matrix, keep_scores, aligner, upload,
+                 timings, n, tracer, metrics, t_start) -> HomologyResult:
     with timed(tracer, "homology.seed_filter",
                filter=config.pair_filter) as stage:
         if config.pair_filter == "suffix":
@@ -260,11 +409,34 @@ def build_homology_graph(sequences: list[np.ndarray],
 
     n_jobs = _resolve_jobs(config.n_jobs)
     shards = _shard_bounds(n_pairs, config.chunk_size, n_jobs)
+    lengths = np.fromiter((s.size for s in sequences), dtype=np.int64,
+                          count=n)
+    short_l, long_l = orient_pair_lengths(pairs, lengths)
+    total_cells = int((short_l.astype(np.int64) * long_l).sum())
+    backend = choose_align_backend(config.align_backend, n_pairs,
+                                   total_cells, config.n_jobs)
+    if backend == "device" and aligner is None:
+        raise ValueError(
+            "align_backend resolved to 'device' without a device aligner")
+    if backend == "pool" and (n_jobs <= 1 or len(shards) <= 1):
+        backend = "host"
+
     score_blocks: list[np.ndarray] = []
     edge_blocks: list[np.ndarray] = []
     with timed(tracer, "homology.alignment", n_pairs=n_pairs,
-               n_jobs=n_jobs, n_shards=len(shards)) as stage:
-        if n_jobs > 1 and len(shards) > 1:
+               n_jobs=n_jobs, n_shards=len(shards),
+               backend=backend) as stage:
+        if backend == "device":
+            upload.result()     # sequences resident (overlapped seed filter)
+            scores = aligner.batch_scores(
+                pairs, gap_model=config.gap_model, gap=config.gap,
+                gap_open=config.gap_open, gap_extend=config.gap_extend)
+            normalized = scores / np.maximum(denom, 1)
+            keep = normalized >= config.min_normalized_score
+            if keep_scores:
+                score_blocks.append(normalized)
+            edge_blocks.append(pairs[keep])
+        elif backend == "pool":
             tasks = [(i, pairs[lo:hi], denom[lo:hi])
                      for i, (lo, hi) in enumerate(shards)]
             ctx = (multiprocessing.get_context("fork")
@@ -295,6 +467,7 @@ def build_homology_graph(sequences: list[np.ndarray],
                     score_blocks.append(block)
                 edge_blocks.append(kept_pairs)
     timings.alignment_s = stage.elapsed
+    observe_alignment_throughput(backend, total_cells, stage.elapsed)
 
     with timed(tracer, "homology.graph_build") as stage:
         edges = (np.concatenate(edge_blocks, axis=0) if edge_blocks
@@ -323,4 +496,5 @@ def build_homology_graph(sequences: list[np.ndarray],
         normalized_scores=normalized,
         pairs=pairs_out,
         timings=timings,
+        align_backend=backend,
     )

@@ -253,6 +253,30 @@ def _dp_dtype(max_short: int, max_long: int, matrix: np.ndarray,
     return np.dtype(np.int64)
 
 
+def dp_dtype(max_short: int, max_long: int, matrix: np.ndarray,
+             penalties: tuple[int, ...]) -> np.dtype:
+    """Public view of the DP dtype rule, shared with the device aligner.
+
+    The device bin planner keys its dtype-homogeneous length bins on this
+    exact function so host and device paths escalate int16 -> int32 -> int64
+    at identical geometries (a precondition of bit-identity testing).
+    """
+    return _dp_dtype(max_short, max_long, matrix, penalties)
+
+
+def orient_pair_lengths(pairs: np.ndarray,
+                        lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-pair (short, long) sequence lengths, vectorized.
+
+    The array sibling of :func:`_swap_short_long` for planners that only
+    need geometry: ``pairs`` is ``(n, 2)`` sequence-id rows, ``lengths``
+    the per-sequence length table.
+    """
+    la = lengths[pairs[:, 0]]
+    lb = lengths[pairs[:, 1]]
+    return np.minimum(la, lb), np.maximum(la, lb)
+
+
 def _score_matrix(matrix: np.ndarray, dtype: np.dtype) -> np.ndarray:
     pad = _I16_PAD_SCORE if dtype == np.int16 else _PAD_SCORE
     m = np.full((ALPHABET_SIZE + 1, ALPHABET_SIZE + 1), pad, dtype=dtype)

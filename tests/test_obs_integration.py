@@ -52,9 +52,13 @@ class TestTracedClustering:
                 "phase3.union"} <= names
 
     def test_root_span_reconciles_with_reported_wall_time(self, graph):
+        # Trial counts sized so the run is long enough (~150ms) that the
+        # fixed ~1ms of span/bucket accounting overhead sits well inside
+        # the 5% tolerance — at c1=30 the same run measures 20-25ms and
+        # the ratio hovers right on the boundary.
         ctx = observe()
         with use_obs(ctx):
-            result = GpClust(ShinglingParams(c1=30, c2=15, seed=0)).run(graph)
+            result = GpClust(ShinglingParams(c1=100, c2=50, seed=0)).run(graph)
         root = next(r for r in ctx.tracer.records if r.name == "gpclust.run")
         assert root.duration == pytest.approx(result.timings.total,
                                               rel=0.05)
@@ -133,8 +137,10 @@ class TestHomologyWorkerSpans:
     def test_worker_spans_merge_onto_parent(self, protein_set):
         ctx = observe()
         with use_obs(ctx):
-            build_homology_graph(protein_set.sequences,
-                                 HomologyConfig(n_jobs=2, chunk_size=16))
+            build_homology_graph(
+                protein_set.sequences,
+                HomologyConfig(n_jobs=2, chunk_size=16,
+                               align_backend="pool"))
         records = ctx.tracer.records
         shard_spans = [r for r in records
                        if r.name == "homology.align.shard"]
@@ -155,7 +161,8 @@ class TestHomologyWorkerSpans:
         ctx = observe()
         with use_obs(ctx):
             build_homology_graph(protein_set.sequences,
-                                 HomologyConfig(n_jobs=1))
+                                 HomologyConfig(n_jobs=1,
+                                                align_backend="host"))
         shard_spans = [r for r in ctx.tracer.records
                        if r.name == "homology.align.shard"]
         assert shard_spans

@@ -55,7 +55,8 @@ class TestParallelDeterminism:
                               min_match_len=4, chunk_size=8)
         serial = build_homology_graph(sequences, base)
         parallel = build_homology_graph(
-            sequences, dataclasses.replace(base, n_jobs=n_jobs))
+            sequences, dataclasses.replace(base, n_jobs=n_jobs,
+                                           align_backend="pool"))
         assert_results_identical(serial, parallel)
 
     def test_family_workload_parallel_identical(self):
@@ -66,7 +67,8 @@ class TestParallelDeterminism:
         serial = build_homology_graph(ps.sequences, base)
         for jobs in (2, 4):
             parallel = build_homology_graph(
-                ps.sequences, dataclasses.replace(base, n_jobs=jobs))
+                ps.sequences, dataclasses.replace(base, n_jobs=jobs,
+                                                  align_backend="pool"))
             assert_results_identical(serial, parallel)
 
     def test_streaming_mode_same_graph_no_scores(self):
@@ -76,8 +78,11 @@ class TestParallelDeterminism:
         base = HomologyConfig(chunk_size=64)
         full = build_homology_graph(ps.sequences, base)
         for jobs in (1, 2):
+            backend = "pool" if jobs > 1 else "host"
             streamed = build_homology_graph(
-                ps.sequences, dataclasses.replace(base, n_jobs=jobs),
+                ps.sequences,
+                dataclasses.replace(base, n_jobs=jobs,
+                                    align_backend=backend),
                 keep_scores=False)
             assert np.array_equal(full.graph.indptr, streamed.graph.indptr)
             assert np.array_equal(full.graph.indices, streamed.graph.indices)
