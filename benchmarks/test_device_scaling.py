@@ -1,0 +1,188 @@
+"""Multi-device scaling — the Table-I 2m bucket and the homology workload
+across ``--devices 1/2/4``.
+
+Two workloads, each run on one, two and four simulated devices:
+
+* **2m** — the Table-I 2M-analogue clustering pipeline (``GpClust`` with
+  ``exec_mode=multidevice``), trial chunks sharded across the group by the
+  least-loaded dispatcher and merged through the StreamingAggregator;
+* **homology** — homology-graph construction at ``align_backend=device``,
+  length-binned alignment bins distributed across the group.
+
+Every row reports both a **wall** and a **modeled** time.  The modeled
+device time is the deterministic quantity: for a single device it is the
+sum of its per-kernel modeled seconds; for a group it is the *max* over
+members (members run concurrently in the model), so "2 devices are ~2x"
+means the max-loaded member carries about half the single-device modeled
+time.  Wall times on a single-core host cannot show a multi-device win —
+the members' NumPy kernels serialize on the one core — so the wall-clock
+acceptance gate only arms on multi-core machines, while the modeled
+speedup assertions are unconditional and CI-stable.
+
+The committed reference lives in BENCH_PR7.json (``device_scaling_rows``);
+CI guards each row's ``total_s`` (lower is better) and the 2-device rows'
+``speedup_vs_1dev`` (higher is better) via ``scripts/check_perf_guard.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GpClust
+from repro.device.device import SimulatedDevice
+from repro.device.group import DeviceGroup
+from repro.pipeline.workloads import (
+    make_homology_workload,
+    make_runtime_workload,
+    workload_params,
+)
+from repro.sequence.homology import build_homology_graph
+from repro.util.tables import format_table, table_payload
+
+REPEATS = 2  # best-of; warm timings only
+DEVICE_COUNTS = (1, 2, 4)
+MULTI_CORE = (os.cpu_count() or 1) >= 2
+
+HEADERS = ["workload", "devices", "wall", "modeled device",
+           "modeled speedup", "wall speedup"]
+
+
+def _make_device(n: int):
+    return DeviceGroup(n) if n > 1 else SimulatedDevice()
+
+
+def _modeled_device_seconds(device) -> float:
+    """The group-aware modeled kernel time (max over concurrent members)."""
+    if isinstance(device, DeviceGroup):
+        return max(device.modeled_kernel_seconds())
+    return sum(s["modeled_s"] for s in device.kernel_stats.values())
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = None
+    for _ in range(repeats):
+        run = fn()
+        if best is None or run["wall_s"] < best["wall_s"]:
+            best = run
+    return best
+
+
+def _scaling_rows(runs: dict[int, dict], label: str):
+    """Per-device-count payload rows + formatted table rows."""
+    base = runs[1]
+    payload, table_rows = {}, []
+    for n, run in sorted(runs.items()):
+        modeled_speedup = base["modeled_s"] / max(run["modeled_s"], 1e-12)
+        wall_speedup = base["wall_s"] / max(run["wall_s"], 1e-12)
+        payload[f"scaling_{label}_dev{n}"] = {
+            "devices": n,
+            "total_s": round(run["wall_s"], 4),
+            "modeled_device_s": round(run["modeled_s"], 6),
+            "speedup_vs_1dev": round(modeled_speedup, 4),
+            "wall_speedup_vs_1dev": round(wall_speedup, 4),
+        }
+        table_rows.append([label, str(n), f"{run['wall_s']:.3f}s",
+                           f"{run['modeled_s'] * 1e3:.3f}ms",
+                           f"{modeled_speedup:.2f}x",
+                           f"{wall_speedup:.2f}x"])
+    return payload, table_rows
+
+
+def test_device_scaling(report_writer, scale):
+    # ----------------------------------------------------------------- #
+    # Workload 1: Table-I 2m clustering bucket.
+    # ----------------------------------------------------------------- #
+    pg = make_runtime_workload("2m", scale)
+    base_params = workload_params(scale)
+
+    def run_cluster(n_devices):
+        params = base_params.with_overrides(devices=n_devices)
+        device = _make_device(n_devices)
+        GpClust(params).run(pg.graph, device=device)  # warm-up
+        device = _make_device(n_devices)
+        t0 = time.perf_counter()
+        result = GpClust(params).run(pg.graph, device=device)
+        wall = time.perf_counter() - t0
+        return {"wall_s": wall, "modeled_s": _modeled_device_seconds(device),
+                "labels": result.labels}
+
+    cluster_runs = {n: _best_of(lambda n=n: run_cluster(n))
+                    for n in DEVICE_COUNTS}
+
+    # Bit-identity: every device count yields the same clustering.
+    for n in DEVICE_COUNTS[1:]:
+        assert np.array_equal(cluster_runs[n]["labels"],
+                              cluster_runs[1]["labels"]), n
+
+    # ----------------------------------------------------------------- #
+    # Workload 2: homology construction on the device backend.
+    # ----------------------------------------------------------------- #
+    protein_set, base_config = make_homology_workload(scale)
+    import dataclasses
+    config = dataclasses.replace(base_config, align_backend="device")
+
+    def run_homology(n_devices):
+        device = _make_device(n_devices)
+        t0 = time.perf_counter()
+        result = build_homology_graph(protein_set.sequences, config,
+                                      device=device)
+        wall = time.perf_counter() - t0
+        return {"wall_s": wall, "modeled_s": _modeled_device_seconds(device),
+                "graph": result.graph}
+
+    homology_runs = {n: _best_of(lambda n=n: run_homology(n))
+                     for n in DEVICE_COUNTS}
+
+    for n in DEVICE_COUNTS[1:]:
+        got, ref = homology_runs[n]["graph"], homology_runs[1]["graph"]
+        assert np.array_equal(got.indptr, ref.indptr), n
+        assert np.array_equal(got.indices, ref.indices), n
+
+    # ----------------------------------------------------------------- #
+    # Report + acceptance.
+    # ----------------------------------------------------------------- #
+    workloads, rows = {}, []
+    for label, runs in (("2m", cluster_runs), ("homology", homology_runs)):
+        payload, table_rows = _scaling_rows(runs, label)
+        workloads.update(payload)
+        rows.extend(table_rows)
+
+    title = (f"Multi-device scaling (modeled device seconds are max-over-"
+             f"members; scale={scale}, host cores={os.cpu_count()})")
+    table = format_table(HEADERS, rows, title=title)
+    note = ("Wall speedups on a single-core host hover near (or below) 1x:\n"
+            "the members' kernels serialize on one core, so the wall gate\n"
+            "only arms on multi-core machines.  The modeled speedup is the\n"
+            "deterministic, CI-guarded quantity.")
+    report_writer(
+        "device_scaling",
+        table + "\n\n" + note,
+        data={
+            "tables": [table_payload(title, HEADERS, rows)],
+            "workloads": workloads,
+            "host_cores": os.cpu_count(),
+            "wall_gate_armed": MULTI_CORE,
+        })
+
+    # Modeled scaling is deterministic: 2 devices must cut the max-loaded
+    # member's modeled time by >= 1.5x on both workloads, and 4 devices
+    # must not be slower than 2.
+    for label in ("2m", "homology"):
+        s2 = workloads[f"scaling_{label}_dev2"]["speedup_vs_1dev"]
+        s4 = workloads[f"scaling_{label}_dev4"]["speedup_vs_1dev"]
+        assert s2 >= 1.5, f"{label}: 2-device modeled speedup {s2:.2f}x < 1.5x"
+        assert s4 >= s2 * 0.95, (
+            f"{label}: 4-device modeled speedup {s4:.2f}x regressed below "
+            f"the 2-device {s2:.2f}x")
+
+    # Wall-clock gate (the ISSUE's >= 1.2x on the homology row): only
+    # meaningful when the host can actually run members concurrently.
+    if MULTI_CORE:
+        wall2 = workloads["scaling_homology_dev2"]["wall_speedup_vs_1dev"]
+        assert wall2 >= 1.2, (
+            f"homology 2-device wall speedup {wall2:.2f}x < 1.2x on a "
+            f"{os.cpu_count()}-core host")

@@ -12,9 +12,11 @@ never fail.
 guarded rows: ``table1_rows`` (clustering bench vs BENCH_PR2.json),
 ``homology_rows`` (homology-construction bench vs BENCH_PR6.json), or
 ``device_alignment_rows`` (the device backend's alignment row, also in
-BENCH_PR6.json).  ``--metric`` picks which per-row value is compared
-(default ``total_s``; the device row is guarded on ``alignment_s`` and
-``padding_waste``).  Guarded metrics must be lower-is-better.
+BENCH_PR6.json), or ``device_scaling_rows`` (the multi-device scaling
+bench vs BENCH_PR7.json).  ``--metric`` picks which per-row value is
+compared (default ``total_s``).  Metrics are lower-is-better unless the
+spec carries a ``:higher`` suffix (``speedup_vs_1dev:higher``); the
+comparison itself lives in ``compare_bench.py``.
 
 ``--max-overhead-pct`` switches to observability-overhead mode: the
 measured file is then a ``trace_overhead.json`` written by
@@ -42,32 +44,25 @@ import json
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from compare_bench import compare_rows, parse_metric_spec, render_deltas
+
 
 def check(measured: dict, reference: dict, tolerance: float,
           reference_key: str = "table1_rows",
           metric: str = "total_s") -> list[str]:
-    """Return a list of failure messages (empty == pass)."""
-    failures = []
-    ref_rows = reference[reference_key]
-    got_rows = measured["workloads"]
-    for name, ref in sorted(ref_rows.items()):
-        if name not in got_rows:
-            failures.append(f"{name}: missing from measured results")
-            continue
-        if metric not in got_rows[name]:
-            failures.append(f"{name}: metric {metric!r} missing from "
-                            f"measured results")
-            continue
-        ref_val = float(ref[metric])
-        got_val = float(got_rows[name][metric])
-        limit = ref_val * (1.0 + tolerance)
-        verdict = "OK" if got_val <= limit else "REGRESSION"
-        print(f"{name}: {metric} {got_val:.4f} vs reference {ref_val:.4f} "
-              f"(limit {limit:.4f}, tolerance {tolerance:.0%}) -> {verdict}")
-        if got_val > limit:
-            failures.append(
-                f"{name}: {metric} {got_val:.4f} exceeds {limit:.4f} "
-                f"({got_val / ref_val - 1.0:+.1%} vs reference)")
+    """Return a list of failure messages (empty == pass).
+
+    A thin wrapper over :func:`compare_bench.compare_rows`: the guarded
+    rows come from ``reference[reference_key]``, the measured rows from
+    ``measured["workloads"]``, and ``metric`` may carry a
+    ``:higher``/``:lower`` direction suffix (default lower-is-better).
+    """
+    deltas, failures = compare_rows(
+        reference[reference_key], measured["workloads"], tolerance,
+        metrics=[parse_metric_spec(metric)])
+    print(render_deltas(deltas, tolerance))
     return failures
 
 
@@ -99,8 +94,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed fractional total-time regression")
     parser.add_argument("--metric", default="total_s",
-                        help="per-row value to compare (lower is better), "
-                             "e.g. total_s, alignment_s, padding_waste")
+                        help="per-row value to compare, e.g. total_s, "
+                             "alignment_s, padding_waste; lower is better "
+                             "unless the spec says NAME:higher (e.g. "
+                             "speedup_vs_1dev:higher)")
     parser.add_argument("--max-overhead-pct", type=float, default=None,
                         metavar="PCT",
                         help="observability-overhead mode: fail when the "

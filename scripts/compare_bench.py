@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Diff two benchmark JSON files row by row, metric by metric.
+
+The benchmark harness writes ``benchmarks/results/<name>.json`` documents
+and each PR commits a ``BENCH_PR<N>.json`` reference; this tool is the one
+place that compares them.  It prints a per-row/per-metric delta table and
+exits non-zero when any guarded metric regresses past the tolerance.
+``check_perf_guard.py`` builds its CI checks on :func:`compare_rows`
+instead of ad-hoc key lookups.
+
+Metric direction: metrics are lower-is-better by default (seconds, waste
+fractions).  Append ``:higher`` to a ``--metric`` spec for higher-is-better
+quantities (speedups, throughput) — a regression is then a *drop* past the
+tolerance.  Improvements never fail in either direction.
+
+Usage::
+
+    python scripts/compare_bench.py BENCH_PR6.json \
+        benchmarks/results/homology_runtime.json \
+        --key homology_rows --measured-key workloads --metric total_s
+
+    python scripts/compare_bench.py BENCH_PR7.json \
+        benchmarks/results/device_scaling.json \
+        --key device_scaling_rows --measured-key workloads \
+        --metric total_s --metric speedup_vs_1dev:higher
+
+With no ``--metric``, every numeric metric shared by a reference row and
+its measured counterpart is compared (all treated as lower-is-better).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Valid direction suffixes of a ``--metric name[:direction]`` spec.
+DIRECTIONS = ("lower", "higher")
+
+
+def parse_metric_spec(spec: str) -> tuple[str, str]:
+    """Split ``"name"`` / ``"name:higher"`` into ``(name, direction)``."""
+    name, sep, direction = spec.partition(":")
+    if not sep:
+        return name, "lower"
+    if direction not in DIRECTIONS:
+        raise ValueError(
+            f"bad metric spec {spec!r}: direction must be one of "
+            f"{DIRECTIONS}")
+    return name, direction
+
+
+def _numeric_metrics(row: dict) -> list[str]:
+    return [k for k, v in row.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)]
+
+
+def compare_rows(ref_rows: dict, got_rows: dict, tolerance: float,
+                 metrics: list[tuple[str, str]] | None = None
+                 ) -> tuple[list[dict], list[str]]:
+    """Compare measured rows against reference rows.
+
+    Returns ``(deltas, failures)``: one delta dict per (row, metric)
+    comparison — ``{"row", "metric", "direction", "ref", "got",
+    "delta_frac", "verdict"}`` — and a list of human-readable failure
+    messages (empty == pass).  A reference row or metric missing from the
+    measured side is itself a failure: silently-dropped coverage must not
+    read as a pass.
+    """
+    deltas: list[dict] = []
+    failures: list[str] = []
+    for name, ref in sorted(ref_rows.items()):
+        if name not in got_rows:
+            failures.append(f"{name}: missing from measured results")
+            continue
+        got = got_rows[name]
+        row_metrics = metrics or [(m, "lower") for m in _numeric_metrics(ref)]
+        for metric, direction in row_metrics:
+            if metric not in ref:
+                continue        # reference does not guard this metric here
+            if metric not in got:
+                failures.append(f"{name}: metric {metric!r} missing from "
+                                f"measured results")
+                continue
+            ref_val = float(ref[metric])
+            got_val = float(got[metric])
+            delta_frac = (got_val / ref_val - 1.0) if ref_val else 0.0
+            if direction == "higher":
+                regressed = got_val < ref_val * (1.0 - tolerance)
+            else:
+                regressed = got_val > ref_val * (1.0 + tolerance)
+            verdict = "REGRESSION" if regressed else "OK"
+            deltas.append({"row": name, "metric": metric,
+                           "direction": direction, "ref": ref_val,
+                           "got": got_val, "delta_frac": delta_frac,
+                           "verdict": verdict})
+            if regressed:
+                failures.append(
+                    f"{name}: {metric} {got_val:.4f} vs reference "
+                    f"{ref_val:.4f} ({delta_frac:+.1%}, "
+                    f"{direction}-is-better, tolerance {tolerance:.0%})")
+    return deltas, failures
+
+
+def render_deltas(deltas: list[dict], tolerance: float) -> str:
+    """The per-row/per-metric delta table as aligned text."""
+    headers = ["row", "metric", "dir", "reference", "measured", "delta",
+               "verdict"]
+    rows = [[d["row"], d["metric"], d["direction"], f"{d['ref']:.4f}",
+             f"{d['got']:.4f}", f"{d['delta_frac']:+.1%}", d["verdict"]]
+            for d in deltas]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths))
+              for row in rows]
+    lines.append(f"(tolerance {tolerance:.0%}; improvements never fail)")
+    return "\n".join(lines)
+
+
+def rows_from(doc: dict, key: str) -> dict:
+    """The named row mapping of a bench document."""
+    if key not in doc:
+        raise KeyError(
+            f"key {key!r} not in document (has: {sorted(doc)})")
+    rows = doc[key]
+    if not isinstance(rows, dict):
+        raise TypeError(f"key {key!r} is not a row mapping")
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("reference", help="committed reference JSON")
+    parser.add_argument("measured", help="freshly-measured bench JSON")
+    parser.add_argument("--key", default="workloads",
+                        help="row mapping in the reference file")
+    parser.add_argument("--measured-key", default=None,
+                        help="row mapping in the measured file "
+                             "(default: same as --key)")
+    parser.add_argument("--metric", action="append", default=None,
+                        metavar="NAME[:lower|higher]",
+                        help="metric to compare (repeatable); default is "
+                             "every numeric metric the reference row holds")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional regression")
+    args = parser.parse_args(argv)
+
+    reference = json.loads(Path(args.reference).read_text())
+    measured = json.loads(Path(args.measured).read_text())
+    ref_rows = rows_from(reference, args.key)
+    got_rows = rows_from(measured, args.measured_key or args.key)
+    metrics = ([parse_metric_spec(m) for m in args.metric]
+               if args.metric else None)
+
+    deltas, failures = compare_rows(ref_rows, got_rows, args.tolerance,
+                                    metrics)
+    print(render_deltas(deltas, args.tolerance))
+    if failures:
+        print("\nBENCH COMPARISON FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("bench comparison passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,7 +61,18 @@ PROFILE_SCHEMA_VERSION = 2
 def _params_from_args(args: argparse.Namespace) -> ShinglingParams:
     return ShinglingParams(s1=args.s1, c1=args.c1, s2=args.s2, c2=args.c2,
                            seed=args.seed, kernel=args.kernel,
-                           exec_mode=args.exec_mode, streams=args.streams)
+                           exec_mode=args.exec_mode, streams=args.streams,
+                           devices=args.devices)
+
+
+def _make_device(params: ShinglingParams):
+    """The run's explicit device: a group when more than one was asked."""
+    from repro.device.device import SimulatedDevice
+    from repro.device.group import DeviceGroup
+
+    if params.devices > 1:
+        return DeviceGroup(params.devices)
+    return SimulatedDevice()
 
 
 def _obs_requested(args: argparse.Namespace) -> bool:
@@ -148,13 +159,19 @@ def _add_param_args(parser: argparse.ArgumentParser) -> None:
                         help="device top-s kernel (fused = single-launch "
                              "hash+pack with on-device dedup reduction)")
     parser.add_argument("--exec-mode", dest="exec_mode",
-                        choices=["sync", "prefetch", "multistream"],
+                        choices=["sync", "prefetch", "multistream",
+                                 "multidevice"],
                         default="sync",
                         help="device-path schedule: synchronous, double-"
-                             "buffered uploads, or concurrent trial-chunk "
-                             "streams (all bit-identical)")
+                             "buffered uploads, concurrent trial-chunk "
+                             "streams, or trial chunks sharded over a "
+                             "device group (all bit-identical)")
     parser.add_argument("--streams", type=int, default=2,
                         help="worker count for --exec-mode multistream")
+    parser.add_argument("--devices", type=int, default=1,
+                        help="simulated device count; more than one runs "
+                             "the multidevice schedule over a device group "
+                             "(output is identical for every count)")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -197,10 +214,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         with use_obs(ctx):
             if args.backend == "device":
                 from repro.core.pipeline import GpClust
-                from repro.device.device import SimulatedDevice
 
                 graph, io_seconds = timed_load(args.graph)
-                device = SimulatedDevice()
+                device = _make_device(params)
                 result = GpClust(params).run(graph, io_seconds=io_seconds,
                                              device=device)
             else:
@@ -278,7 +294,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     homology_config = HomologyConfig(pair_filter=args.pair_filter,
                                      min_normalized_score=args.min_score,
                                      n_jobs=args.jobs,
-                                     align_backend=args.align_backend)
+                                     align_backend=args.align_backend,
+                                     devices=args.devices)
     if ctx is None:
         homology = build_homology_graph(sequences, homology_config)
         print(f"homology: {homology.n_candidate_pairs} candidate pairs -> "
@@ -290,13 +307,11 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         device = None
         with use_obs(ctx):
             if args.backend == "device":
-                # One device for the whole run: the alignment offload (when
-                # --align-backend resolves to device) and the clustering
-                # pass share its scratch pool, so --profile shows the sw_*
-                # kernels next to the shingling ones.
-                from repro.device.device import SimulatedDevice
-
-                device = SimulatedDevice()
+                # One device (or group) for the whole run: the alignment
+                # offload (when --align-backend resolves to device) and the
+                # clustering pass share its scratch pool, so --profile
+                # shows the sw_* kernels next to the shingling ones.
+                device = _make_device(params)
             homology = build_homology_graph(sequences, homology_config,
                                             device=device)
             print(f"homology: {homology.n_candidate_pairs} candidate pairs "

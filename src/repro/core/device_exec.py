@@ -33,6 +33,7 @@ bit-identical to :func:`repro.core.serial.serial_shingle_pass`.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -40,12 +41,13 @@ import numpy as np
 
 from repro.core.aggregate import (StreamingAggregator, aggregate_pass,
                                   merge_splits_into)
-from repro.core.execplan import (EXEC_PREFETCH, EXEC_SYNC, ExecutionPlan,
-                                 trial_chunks)
+from repro.core.execplan import (EXEC_MULTIDEVICE, EXEC_PREFETCH, EXEC_SYNC,
+                                 ExecutionPlan, trial_chunks)
 from repro.core.params import KERNEL_FUSED, PassConfig
 from repro.core.passresult import PassResult
 from repro.device.batching import max_batch_elements, plan_batches
 from repro.device.device import SimulatedDevice
+from repro.device.group import DeviceGroup, least_loaded_assignment
 from repro.device.kernels import (SENTINEL, reduce_keys_fit,
                                   segment_element_ids)
 from repro.device.memory import ScratchPool
@@ -57,7 +59,7 @@ def device_shingle_pass(
     indptr: np.ndarray,
     elements: np.ndarray,
     config: PassConfig,
-    device: SimulatedDevice,
+    device: SimulatedDevice | DeviceGroup,
     *,
     kernel: str = "select",
     trial_chunk: int = 16,
@@ -74,7 +76,10 @@ def device_shingle_pass(
     config:
         Pass configuration (s, c, hash pairs, salts).
     device:
-        The simulated device; its breakdown accumulates component times.
+        The simulated device — or a :class:`DeviceGroup`, whose members the
+        ``multidevice`` plan shards trial chunks across (shared inputs are
+        broadcast once over PCIe and fanned out peer-to-peer); the
+        breakdown accumulates component times either way.
     kernel, trial_chunk:
         Kernel selection and trials-per-round (see :class:`SimulatedDevice`).
     max_elements:
@@ -151,23 +156,70 @@ def device_shingle_pass(
     return result
 
 
-def _run_chunks(plan: ExecutionPlan, chunks, work) -> None:
-    """Execute ``work(lo, hi)`` for every trial chunk under the plan."""
-    if plan.n_workers == 1 or len(chunks) <= 1:
+def _members_of(device) -> list[SimulatedDevice]:
+    return device.members if isinstance(device, DeviceGroup) else [device]
+
+
+def _broadcast(device, members, multi: bool, host_array: np.ndarray):
+    """Input residency per member: group broadcast, or one plain upload."""
+    if multi:
+        return device.broadcast(host_array)
+    return [members[0].upload(host_array)]
+
+
+def _run_chunks(plan: ExecutionPlan, chunks, work,
+                members: list[SimulatedDevice] | None = None) -> None:
+    """Execute ``work(lo, hi, dev)`` for every trial chunk under the plan.
+
+    ``multidevice`` with several members statically assigns chunks to the
+    least-loaded member by trial count (nnz is constant within a batch, so
+    trials are proportional to modeled kernel cost) and runs one driver
+    thread per member — named ``dev{i}`` so each device's kernel rounds
+    render as their own trace track.  Static-by-cost assignment keeps every
+    member's kernel stream deterministic; the out-of-order-tolerant
+    aggregation downstream makes completion order immaterial.
+    """
+    if (plan.mode == EXEC_MULTIDEVICE and members is not None
+            and len(members) > 1):
+        owners = least_loaded_assignment([hi - lo for lo, hi in chunks],
+                                         len(members))
+        per_dev: list[list[tuple[int, int]]] = [[] for _ in members]
+        for chunk, owner in zip(chunks, owners):
+            per_dev[owner].append(chunk)
+        errors: list[BaseException] = []
+
+        def runner(idx: int) -> None:
+            try:
+                for lo, hi in per_dev[idx]:
+                    work(lo, hi, idx)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=runner, args=(i,), name=f"dev{i}")
+                   for i in range(len(members)) if per_dev[i]]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return
+    if (plan.n_workers == 1 or len(chunks) <= 1
+            or plan.mode == EXEC_MULTIDEVICE):
         for lo, hi in chunks:
-            work(lo, hi)
+            work(lo, hi, 0)
         return
     # The prefix names each worker's spans' track ("stream_0", "stream_1",
     # ...) so concurrent kernel rounds render as separate trace tracks.
     with ThreadPoolExecutor(max_workers=plan.n_workers,
                             thread_name_prefix="stream") as executor:
-        futures = [executor.submit(work, lo, hi) for lo, hi in chunks]
+        futures = [executor.submit(work, lo, hi, 0) for lo, hi in chunks]
         for future in futures:
             future.result()
 
 
 def _single_batch_streaming(
-    device: SimulatedDevice,
+    device: SimulatedDevice | DeviceGroup,
     elements: np.ndarray,
     batch,
     chunks,
@@ -193,6 +245,8 @@ def _single_batch_streaming(
     aggregation shrink from O(t*n*s) to O(k_chunk*s).
     """
     breakdown = device.breakdown
+    group_members = _members_of(device)
+    multi = plan.mode == EXEC_MULTIDEVICE and len(group_members) > 1
     s = config.s
     a, b, salts = config.a_array, config.b_array, config.salts
     n_rows = batch.n_segments
@@ -208,16 +262,18 @@ def _single_batch_streaming(
         aggregator = StreamingAggregator(s, n_seg)
         host_pool = ScratchPool()  # reused download staging across chunks
 
-    d_elem = device.upload(batch.slice_elements(elements))
-    d_indptr = device.upload(batch.local_indptr)
-    d_gen = (device.upload(valid_ids.astype(np.uint32))
-             if use_reduce else None)
+    d_elems = _broadcast(device, group_members, multi,
+                         batch.slice_elements(elements))
+    d_indptrs = _broadcast(device, group_members, multi, batch.local_indptr)
+    d_gens = (_broadcast(device, group_members, multi,
+                         valid_ids.astype(np.uint32))
+              if use_reduce else [])
 
     tracer = device.obs.tracer
 
-    def run_chunk_reduce(lo: int, hi: int) -> None:
-        fps, members, gen_counts, gens = device.shingle_chunk_reduce(
-            d_elem, d_indptr, d_gen,
+    def run_chunk_reduce(lo: int, hi: int, dev: int) -> None:
+        fps, members, gen_counts, gens = group_members[dev].shingle_chunk_reduce(
+            d_elems[dev], d_indptrs[dev], d_gens[dev],
             a=a[lo:hi], b=b[lo:hi], prime=config.prime, s=s,
             salts=salts[lo:hi], seg_ids=seg_ids_table, n_values=n_values,
             label=f"trials {lo}-{hi - 1}")
@@ -233,12 +289,12 @@ def _single_batch_streaming(
                 n_input_segments=n_seg)
             aggregator.add(lo, partial)
 
-    def run_chunk(lo: int, hi: int) -> None:
+    def run_chunk(lo: int, hi: int, dev: int) -> None:
         t = hi - lo
         fps_buf = host_pool.take((t, n_rows), np.uint64)
         top_buf = host_pool.take((t, n_rows, s), np.uint64)
-        device.shingle_chunk(
-            d_elem, d_indptr,
+        group_members[dev].shingle_chunk(
+            d_elems[dev], d_indptrs[dev],
             a=a[lo:hi], b=b[lo:hi], prime=config.prime, s=s,
             salts=salts[lo:hi], kernel=kernel, seg_ids=seg_ids_table,
             n_values=n_values,
@@ -252,10 +308,10 @@ def _single_batch_streaming(
 
     try:
         _run_chunks(plan, chunks,
-                    run_chunk_reduce if use_reduce else run_chunk)
+                    run_chunk_reduce if use_reduce else run_chunk,
+                    members=group_members)
     finally:
-        buffers = [d_elem, d_indptr] + ([d_gen] if d_gen is not None else [])
-        device.free(*buffers)
+        device.free(*(d_elems + d_indptrs + d_gens))
 
     with breakdown.timing(BUCKET_CPU), tracer.span("exec.merge_partials"):
         if aggregator.n_partials == 0:
@@ -268,7 +324,7 @@ def _single_batch_streaming(
 
 
 def _multi_batch_accumulate(
-    device: SimulatedDevice,
+    device: SimulatedDevice | DeviceGroup,
     elements: np.ndarray,
     batch_plan,
     chunks,
@@ -282,11 +338,14 @@ def _multi_batch_accumulate(
 ) -> PassResult:
     """General path: several batches, scatter into pass-level accumulators.
 
-    Batch uploads may double-buffer (``prefetch``) and each batch's trial
-    chunks may run on concurrent streams (``multistream``); the final
-    aggregation happens once, after split lists are merged.
+    Batch uploads may double-buffer (``prefetch``), each batch's trial
+    chunks may run on concurrent streams (``multistream``) or shard across
+    a device group (``multidevice``, batches broadcast member-to-member);
+    the final aggregation happens once, after split lists are merged.
     """
     breakdown = device.breakdown
+    group_members = _members_of(device)
+    multi = plan.mode == EXEC_MULTIDEVICE and len(group_members) > 1
     s, c = config.s, config.c
     a, b, salts = config.a_array, config.b_array, config.salts
 
@@ -298,8 +357,9 @@ def _multi_batch_accumulate(
         split_chunks: dict[int, list[np.ndarray]] = {}
 
     def _upload(batch):
-        return (device.upload(batch.slice_elements(elements)),
-                device.upload(batch.local_indptr))
+        return (_broadcast(device, group_members, multi,
+                           batch.slice_elements(elements)),
+                _broadcast(device, group_members, multi, batch.local_indptr))
 
     tracer = device.obs.tracer
     uploader = (ThreadPoolExecutor(max_workers=1, thread_name_prefix="copy")
@@ -308,12 +368,12 @@ def _multi_batch_accumulate(
     try:
         for bi, batch in enumerate(batch_plan):
             if uploader is None:
-                d_elem, d_indptr = _upload(batch)
+                d_elems, d_indptrs = _upload(batch)
             else:
                 # Double buffering: this batch was prefetched during the
                 # previous batch's kernels; kick off the next one now.
-                d_elem, d_indptr = (pending.result() if pending is not None
-                                    else _upload(batch))
+                d_elems, d_indptrs = (pending.result() if pending is not None
+                                      else _upload(batch))
                 pending = (uploader.submit(_upload, batch_plan.batches[bi + 1])
                            if bi + 1 < batch_plan.n_batches else None)
 
@@ -323,17 +383,17 @@ def _multi_batch_accumulate(
                 fps_b = np.empty((c, n_b), dtype=np.uint64)
                 top_b = np.empty((c, n_b, s), dtype=np.uint64)
 
-            def run_chunk(lo: int, hi: int) -> None:
-                device.shingle_chunk(
-                    d_elem, d_indptr,
+            def run_chunk(lo: int, hi: int, dev: int) -> None:
+                group_members[dev].shingle_chunk(
+                    d_elems[dev], d_indptrs[dev],
                     a=a[lo:hi], b=b[lo:hi], prime=config.prime, s=s,
                     salts=salts[lo:hi], kernel=kernel, seg_ids=seg_ids_table,
                     n_values=n_values,
                     out_fps=fps_b[lo:hi], out_top=top_b[lo:hi],
                     label=f"batch {bi} trials {lo}-{hi - 1}")
 
-            _run_chunks(plan, chunks, run_chunk)
-            device.free(d_elem, d_indptr)
+            _run_chunks(plan, chunks, run_chunk, members=group_members)
+            device.free(*(d_elems + d_indptrs))
 
             with breakdown.timing(BUCKET_CPU):
                 whole = ~batch.is_split

@@ -40,8 +40,9 @@ _P = TypeVar("_P")
 EXEC_SYNC = "sync"
 EXEC_PREFETCH = "prefetch"
 EXEC_MULTISTREAM = "multistream"
+EXEC_MULTIDEVICE = "multidevice"
 
-EXEC_MODES = (EXEC_SYNC, EXEC_PREFETCH, EXEC_MULTISTREAM)
+EXEC_MODES = (EXEC_SYNC, EXEC_PREFETCH, EXEC_MULTISTREAM, EXEC_MULTIDEVICE)
 
 
 def trial_chunks(c: int, trial_chunk: int) -> list[tuple[int, int]]:
@@ -96,10 +97,16 @@ class ExecutionPlan:
         One of :data:`EXEC_MODES`.
     streams:
         Worker count for ``multistream`` (ignored by the other modes).
+    devices:
+        Member count for ``multidevice``: trial chunks shard across a
+        :class:`repro.device.group.DeviceGroup` of this size, one driver
+        thread per member.  Ignored by the other modes; ``multidevice``
+        with one device degrades to the synchronous schedule.
     """
 
     mode: str = EXEC_SYNC
     streams: int = 2
+    devices: int = 1
 
     def __post_init__(self) -> None:
         if self.mode not in EXEC_MODES:
@@ -107,11 +114,17 @@ class ExecutionPlan:
                 f"unknown exec mode {self.mode!r}; expected one of {EXEC_MODES}")
         if self.streams < 1:
             raise ValueError("streams must be >= 1")
+        if self.devices < 1:
+            raise ValueError("devices must be >= 1")
 
     @property
     def n_workers(self) -> int:
         """Concurrent kernel streams this plan keeps in flight."""
-        return self.streams if self.mode == EXEC_MULTISTREAM else 1
+        if self.mode == EXEC_MULTISTREAM:
+            return self.streams
+        if self.mode == EXEC_MULTIDEVICE:
+            return self.devices
+        return 1
 
     @property
     def resident_factor(self) -> int:
@@ -119,7 +132,9 @@ class ExecutionPlan:
 
         The batch element budget is divided by this: prefetch keeps two
         batches resident (double buffering); multistream keeps one batch
-        but ``streams`` kernel working sets.
+        but ``streams`` kernel working sets.  ``multidevice`` replicates
+        the batch across members, so each device holds one batch plus one
+        kernel working set — the per-device budget is undivided.
         """
         if self.mode == EXEC_PREFETCH:
             return 2
@@ -128,5 +143,6 @@ class ExecutionPlan:
         return 1
 
     @classmethod
-    def from_mode(cls, mode: str, streams: int = 2) -> "ExecutionPlan":
-        return cls(mode=mode, streams=streams)
+    def from_mode(cls, mode: str, streams: int = 2,
+                  devices: int = 1) -> "ExecutionPlan":
+        return cls(mode=mode, streams=streams, devices=devices)

@@ -11,7 +11,8 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.core.execplan import EXEC_MODES, EXEC_SYNC, ExecutionPlan
+from repro.core.execplan import (EXEC_MODES, EXEC_MULTIDEVICE, EXEC_SYNC,
+                                 ExecutionPlan)
 from repro.util.mixhash import trial_salt
 from repro.util.primes import DEFAULT_PRIME, is_probable_prime
 from repro.util.rng import HashPair, make_hash_pairs, spawn_rng
@@ -57,10 +58,18 @@ class ShinglingParams:
         Trials per device kernel round (bounds device working memory).
     exec_mode:
         Device-path schedule: ``"sync"`` (paper-faithful synchronous),
-        ``"prefetch"`` (double-buffered batch uploads) or ``"multistream"``
-        (concurrent trial-chunk streams).  All modes are bit-identical.
+        ``"prefetch"`` (double-buffered batch uploads), ``"multistream"``
+        (concurrent trial-chunk streams) or ``"multidevice"`` (trial chunks
+        sharded across a simulated device group).  All modes are
+        bit-identical.
     streams:
         Worker count for ``"multistream"`` (ignored otherwise).
+    devices:
+        Simulated device count.  ``devices > 1`` selects the
+        ``"multidevice"`` schedule (overriding ``exec_mode``) and shards
+        each pass's trial chunks across a
+        :class:`repro.device.group.DeviceGroup` of this size; output is
+        bit-identical for every count.
     report_mode:
         Phase III output: ``"partition"`` (union-find, the paper's choice —
         no vertex in two clusters) or ``"overlapping"`` (per-component
@@ -91,6 +100,7 @@ class ShinglingParams:
     trial_chunk: int = 16
     exec_mode: str = EXEC_SYNC
     streams: int = 2
+    devices: int = 1
     report_mode: str = REPORT_PARTITION
     include_generators: bool = False
     union_backend: str = UNION_VECTORIZED
@@ -113,6 +123,8 @@ class ShinglingParams:
             raise ValueError(f"unknown exec_mode {self.exec_mode!r}")
         if self.streams < 1:
             raise ValueError("streams must be >= 1")
+        if self.devices < 1:
+            raise ValueError("devices must be >= 1")
         if self.report_mode not in (REPORT_PARTITION, REPORT_OVERLAPPING):
             raise ValueError(f"unknown report_mode {self.report_mode!r}")
         if self.union_backend not in (UNION_VECTORIZED, UNION_UNIONFIND):
@@ -127,8 +139,14 @@ class ShinglingParams:
         return replace(self, **kwargs)
 
     def execution_plan(self) -> ExecutionPlan:
-        """The :class:`ExecutionPlan` these parameters select."""
-        return ExecutionPlan(mode=self.exec_mode, streams=self.streams)
+        """The :class:`ExecutionPlan` these parameters select.
+
+        ``devices > 1`` always selects the multidevice schedule — the other
+        modes have no way to use more than one device.
+        """
+        mode = EXEC_MULTIDEVICE if self.devices > 1 else self.exec_mode
+        return ExecutionPlan(mode=mode, streams=self.streams,
+                             devices=self.devices)
 
     # ------------------------------------------------------------------ #
     # Derived per-pass configuration

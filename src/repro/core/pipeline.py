@@ -19,7 +19,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.device_exec import device_shingle_pass
-from repro.core.execplan import EXEC_PREFETCH, EXEC_SYNC, ExecutionPlan
+from repro.core.execplan import (EXEC_MULTIDEVICE, EXEC_PREFETCH, EXEC_SYNC,
+                                 ExecutionPlan)
 from repro.core.params import (
     GROUPING_ONE_SHINGLE,
     REPORT_PARTITION,
@@ -30,6 +31,7 @@ from repro.core.report import one_shingle_labels, report_clusters
 from repro.core.result import ClusterResult
 from repro.core.serial import serial_shingle_pass
 from repro.device.device import SimulatedDevice
+from repro.device.group import DeviceGroup
 from repro.device.timingmodels import DeviceSpec
 from repro.graph.csr import CSRGraph
 from repro.graph.io import timed_load
@@ -114,18 +116,24 @@ class GpClust:
         self.prefetch = plan.mode == EXEC_PREFETCH
 
     def run(self, graph: CSRGraph, io_seconds: float = 0.0,
-            device: SimulatedDevice | None = None) -> ClusterResult:
-        """Cluster ``graph`` through the simulated device.
+            device: SimulatedDevice | DeviceGroup | None = None
+            ) -> ClusterResult:
+        """Cluster ``graph`` through the simulated device (or device group).
 
         A fresh device (and fresh component breakdown) is created per run
-        unless one is supplied.
+        unless one is supplied; a ``multidevice`` plan with more than one
+        device builds a :class:`DeviceGroup` instead.
         """
         params = self.params
         breakdown = TimeBreakdown()
         if io_seconds:
             breakdown.add(BUCKET_IO, io_seconds)
         if device is None:
-            device = SimulatedDevice(self.device_spec, breakdown)
+            if self.plan.mode == EXEC_MULTIDEVICE and self.plan.devices > 1:
+                device = DeviceGroup(self.plan.devices, self.device_spec,
+                                     breakdown)
+            else:
+                device = SimulatedDevice(self.device_spec, breakdown)
         else:
             device.set_breakdown(breakdown)
         tracer = device.obs.tracer

@@ -29,6 +29,12 @@ from repro.device.batching import (
     plan_batches,
 )
 from repro.device.device import SimulatedDevice
+from repro.device.group import (
+    DeviceGroup,
+    GroupTopology,
+    HostLink,
+    least_loaded_assignment,
+)
 from repro.device.memory import DeviceBuffer, DeviceMemory, DeviceMemoryError
 from repro.device.timingmodels import DeviceSpec, KernelCostModel, TransferModel
 
@@ -39,12 +45,16 @@ __all__ = [
     "BatchPlan",
     "DeviceAligner",
     "DeviceBuffer",
+    "DeviceGroup",
     "DeviceMemory",
     "DeviceMemoryError",
     "DeviceSpec",
+    "GroupTopology",
+    "HostLink",
     "KernelCostModel",
     "SimulatedDevice",
     "TransferModel",
+    "least_loaded_assignment",
     "plan_alignment_bins",
     "plan_batches",
 ]

@@ -42,6 +42,7 @@ on the shared :func:`~repro.sequence.smith_waterman.dp_dtype` rule.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -55,6 +56,7 @@ from repro.core.execplan import (
 )
 from repro.device.batching import AlignmentBin, AlignmentBinPlan, plan_alignment_bins
 from repro.device.device import SimulatedDevice
+from repro.device.group import DeviceGroup, least_loaded_assignment
 from repro.device.memory import ScratchPool
 from repro.sequence.alphabet import ALPHABET_SIZE
 from repro.sequence.arena import flatten_sequences
@@ -287,24 +289,39 @@ class DeviceAligner:
     the Chrome trace read.
     """
 
-    def __init__(self, device: SimulatedDevice | None = None, *,
+    def __init__(self, device: SimulatedDevice | DeviceGroup | None = None, *,
                  matrix: np.ndarray = BLOSUM62,
                  plan: ExecutionPlan | None = None,
                  max_pairs_per_bin: int = 384,
                  max_waste: float = 0.25,
                  min_pairs_per_bin: int = 32) -> None:
-        self.device = device if device is not None else SimulatedDevice()
+        # A DeviceGroup distributes bins across its members (bins write
+        # disjoint output slices, so they are already independent units of
+        # work); ``self.device`` stays a plain SimulatedDevice — member 0 —
+        # so single-device callers see the historical surface.
+        if isinstance(device, DeviceGroup):
+            self.group: DeviceGroup | None = device
+            self.device = device.members[0]
+        else:
+            self.group = None
+            self.device = device if device is not None else SimulatedDevice()
         self.matrix = matrix
         self.plan = plan if plan is not None else ExecutionPlan()
         self.max_pairs_per_bin = max_pairs_per_bin
         self.max_waste = max_waste
         self.min_pairs_per_bin = min_pairs_per_bin
-        self._d_residues = None
-        self._d_offsets = None
-        self._d_residues16 = None
+        # Per-member device buffers (one entry per group member; a single
+        # device is the one-member degenerate case).
+        self._d_residues: list = []
+        self._d_offsets: list = []
+        self._d_residues16: list = []
         self._lengths: np.ndarray | None = None
         #: Bin plan of the most recent :meth:`batch_scores` call.
         self.last_plan: AlignmentBinPlan | None = None
+
+    @property
+    def _members(self) -> list[SimulatedDevice]:
+        return self.group.members if self.group is not None else [self.device]
 
     # ------------------------------------------------------------------ #
     # Sequence residency
@@ -314,33 +331,41 @@ class DeviceAligner:
         """Upload the sequence set as flat CSR (h2d-accounted), replacing
         any previously resident set.
 
-        The uint8 wire buffer is widened once on the device to int16 (one
-        transform launch) so every subsequent bin pack gathers directly
-        into the int16 index lanes the kernels consume.
+        With a group the flat buffers cross the PCIe link once and fan out
+        peer-to-peer (:meth:`DeviceGroup.broadcast`); every member then
+        widens its own copy.  The uint8 wire buffer is widened on-device to
+        int16 (one transform launch per member) so every subsequent bin
+        pack gathers directly into the int16 index lanes the kernels
+        consume.
         """
         residues, offsets = flatten_sequences(
             [np.asarray(s, dtype=np.uint8) for s in sequences])
         self.release()
-        device = self.device
         self._lengths = np.diff(offsets)
-        self._d_residues = device.upload(residues)
-        self._d_offsets = device.upload(offsets)
-        t0 = time.perf_counter()
-        wide = self._d_residues.device_view().astype(np.int16)
-        self._d_residues16 = device.memory.adopt(wide)
-        t1 = time.perf_counter()
-        device.breakdown.add(BUCKET_GPU, t1 - t0)
-        modeled = device.spec.kernels.seconds_for("transform", wide.size)
-        device._record_kernel("sw_widen", wide.size, modeled)
-        device.breakdown.add_modeled(BUCKET_GPU, modeled)
+        if self.group is not None and self.group.n_devices > 1:
+            self._d_residues = self.group.broadcast(residues)
+            self._d_offsets = self.group.broadcast(offsets)
+        else:
+            self._d_residues = [self.device.upload(residues)]
+            self._d_offsets = [self.device.upload(offsets)]
+        for member, d_res in zip(self._members, self._d_residues):
+            t0 = time.perf_counter()
+            wide = d_res.device_view().astype(np.int16)
+            self._d_residues16.append(member.memory.adopt(wide))
+            t1 = time.perf_counter()
+            member.breakdown.add(BUCKET_GPU, t1 - t0)
+            modeled = member.spec.kernels.seconds_for("transform", wide.size)
+            member._record_kernel("sw_widen", wide.size, modeled)
+            member.breakdown.add_modeled(BUCKET_GPU, modeled)
 
     def release(self) -> None:
         """Free the device-resident sequence buffers."""
-        if self._d_residues is not None:
-            self.device.free(self._d_residues, self._d_offsets,
-                             self._d_residues16)
-            self._d_residues = self._d_offsets = self._d_residues16 = None
-            self._lengths = None
+        for buf in self._d_residues + self._d_offsets + self._d_residues16:
+            buf.free()
+        self._d_residues = []
+        self._d_offsets = []
+        self._d_residues16 = []
+        self._lengths = None
 
     def __enter__(self) -> "DeviceAligner":
         return self
@@ -359,9 +384,13 @@ class DeviceAligner:
 
         ``pairs`` is ``(n, 2)`` sequence ids.  Returns ``(n,)`` int64
         scores, bit-identical to the host batched kernels under the same
-        gap model.  Bins run under :attr:`plan`'s schedule.
+        gap model.  Bins run under :attr:`plan`'s schedule on one device;
+        on a group they are statically assigned to the member with the
+        least accumulated padded-cell load and scored by one driver thread
+        per device — bins write disjoint ``out`` slices, so distribution
+        cannot reorder anything observable.
         """
-        if self._d_residues is None:
+        if not self._d_residues:
             raise RuntimeError("no sequences resident; call upload_sequences")
         if gap_model not in ("linear", "affine"):
             raise ValueError(f"unknown gap_model {gap_model!r}")
@@ -386,18 +415,47 @@ class DeviceAligner:
             min_pairs=self.min_pairs_per_bin)
         self.last_plan = plan
 
-        # The pair table rides to the device like any other kernel input.
-        d_pairs = self.device.upload(pairs)
+        members = self._members
+        multi = len(members) > 1
 
-        def pack(bin_: AlignmentBin):
-            return self._pack_bin(bin_, plan.order, short_ids, long_ids)
+        # The pair table rides to the device like any other kernel input
+        # (peer-fanned on a group: every member scores against it).
+        d_pairs = (self.group.broadcast(pairs) if multi
+                   else [self.device.upload(pairs)])
 
-        def score(bin_: AlignmentBin, packed) -> None:
+        def pack(bin_: AlignmentBin, dev: int = 0):
+            return self._pack_bin(bin_, plan.order, short_ids, long_ids, dev)
+
+        def score(bin_: AlignmentBin, packed, dev: int = 0) -> None:
             self._score_bin(bin_, packed, plan, gap_model, gap, gap_open,
-                            gap_extend, out)
+                            gap_extend, out, dev)
 
         try:
-            if self.plan.mode == EXEC_PREFETCH and plan.n_bins > 1:
+            if multi:
+                owners = least_loaded_assignment(
+                    [bin_.padded_cells for bin_ in plan.bins], len(members))
+                per_dev: list[list[AlignmentBin]] = [[] for _ in members]
+                for bin_, owner in zip(plan.bins, owners):
+                    per_dev[owner].append(bin_)
+                errors: list[BaseException] = []
+
+                def runner(dev: int) -> None:
+                    try:
+                        for bin_ in per_dev[dev]:
+                            score(bin_, pack(bin_, dev), dev)
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=runner, args=(i,),
+                                            name=f"dev{i}")
+                           for i in range(len(members)) if per_dev[i]]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                if errors:
+                    raise errors[0]
+            elif self.plan.mode == EXEC_PREFETCH and plan.n_bins > 1:
                 for bin_, packed in double_buffer(plan.bins, pack):
                     score(bin_, packed)
             elif self.plan.mode == EXEC_MULTISTREAM and plan.n_bins > 1:
@@ -416,7 +474,8 @@ class DeviceAligner:
                 for bin_ in plan.bins:
                     score(bin_, pack(bin_))
         finally:
-            self.device.free(d_pairs)
+            for buf in d_pairs:
+                buf.free()
 
         self._record_plan_metrics(plan)
         return out
@@ -426,12 +485,13 @@ class DeviceAligner:
     # ------------------------------------------------------------------ #
 
     def _pack_bin(self, bin_: AlignmentBin, order: np.ndarray,
-                  short_ids: np.ndarray, long_ids: np.ndarray):
-        device = self.device
+                  short_ids: np.ndarray, long_ids: np.ndarray,
+                  dev: int = 0):
+        device = self._members[dev]
         t0 = time.perf_counter()
         members = order[bin_.order_lo:bin_.order_hi]
-        residues = self._d_residues16.device_view()
-        offsets = self._d_offsets.device_view()
+        residues = self._d_residues16[dev].device_view()
+        offsets = self._d_offsets[dev].device_view()
         arow, bt = pack_bin_blocks(residues, offsets, short_ids[members],
                                    long_ids[members], bin_.max_short,
                                    bin_.max_long)
@@ -445,8 +505,9 @@ class DeviceAligner:
 
     def _score_bin(self, bin_: AlignmentBin, packed,
                    plan: AlignmentBinPlan, gap_model: str, gap: int,
-                   gap_open: int, gap_extend: int, out: np.ndarray) -> None:
-        device = self.device
+                   gap_open: int, gap_extend: int, out: np.ndarray,
+                   dev: int = 0) -> None:
+        device = self._members[dev]
         arow, bt = packed
         t0 = time.perf_counter()
         d_work = device.memory.adopt(bt)      # bin working set, device-resident
@@ -469,7 +530,7 @@ class DeviceAligner:
         tracer = device.obs.tracer
         if tracer.enabled:
             tracer.record(
-                "device.align_bin", t0, t1,
+                "device.align_bin", t0, t1, proc=device.proc,
                 attrs={"n_pairs": bin_.n_pairs, "la": bin_.max_short,
                        "lb": bin_.max_long, "dtype": bin_.dtype.name,
                        "padding_waste": round(bin_.padding_waste, 4)})
@@ -489,4 +550,7 @@ class DeviceAligner:
         if padded.value:
             metrics.gauge("device.align.padding_waste").set(
                 round(1.0 - actual.value / padded.value, 6))
-        self.device.sync_metrics()
+        if self.group is not None:
+            self.group.sync_metrics()
+        else:
+            self.device.sync_metrics()

@@ -92,6 +92,12 @@ class HomologyConfig:
         ``"pool"`` additionally needs ``n_jobs`` workers to use; with one
         worker it degrades to the host path.  Scores and edges are
         bit-identical across all backends.
+    devices:
+        Simulated device count for the device backend.  ``devices > 1``
+        runs the offload on a :class:`repro.device.group.DeviceGroup`,
+        distributing length-binned alignment bins across members; the
+        ``auto`` cost model divides the device throughput estimate by this
+        count.  Output is bit-identical for every value.
     """
 
     pair_filter: str = "kmer"
@@ -107,6 +113,7 @@ class HomologyConfig:
     chunk_size: int = 256
     n_jobs: int = 1
     align_backend: str = "auto"
+    devices: int = 1
 
     def __post_init__(self) -> None:
         if self.pair_filter not in ("kmer", "suffix"):
@@ -125,6 +132,8 @@ class HomologyConfig:
             raise ValueError("min_match_len must be >= 1")
         if self.n_jobs < 0:
             raise ValueError("n_jobs must be >= 0 (0 = cpu_count)")
+        if self.devices < 1:
+            raise ValueError("devices must be >= 1")
 
 
 @dataclass
@@ -228,7 +237,16 @@ def _score_shard_remote(task):
 
 def _shard_bounds(n_pairs: int, chunk_size: int, n_jobs: int):
     """Contiguous ``(lo, hi)`` shard bounds: ~4 shards per worker for load
-    balance, but never smaller than one alignment chunk."""
+    balance, but never smaller than one alignment chunk.
+
+    A single worker gets a single shard — sharding exists only to feed a
+    pool, and splitting serial work adds per-shard span/merge overhead for
+    nothing (the ``--jobs 1`` short-circuit).
+    """
+    if n_pairs <= 0:
+        return []
+    if n_jobs <= 1:
+        return [(0, n_pairs)]
     shard = max(chunk_size, -(-n_pairs // max(n_jobs * 4, 1)))
     return [(lo, min(lo + shard, n_pairs))
             for lo in range(0, n_pairs, shard)]
@@ -274,19 +292,31 @@ def observe_alignment_throughput(backend: str, cells: int,
             rate if prev is None else 0.5 * (prev + rate))
 
 
-def _estimated_seconds(n_pairs: int, total_cells: int,
-                       n_jobs: int) -> dict[str, float]:
-    """Cost-model estimate per candidate backend, in seconds."""
+def _estimated_seconds(n_pairs: int, total_cells: int, n_jobs: int,
+                       n_devices: int = 1) -> dict[str, float]:
+    """Cost-model estimate per candidate backend, in seconds.
+
+    ``n_devices`` scales the device estimate: a group's bins score
+    concurrently, so throughput is roughly linear in the member count
+    while the fixed setup (upload broadcast + bin launches) stays flat.
+    """
     with _throughput_lock:
         measured = dict(_measured_cells_per_s)
     host_rate = measured.get("host", _HOST_CELLS_PER_S)
     device_rate = measured.get("device", _DEVICE_CELLS_PER_S)
     est = {
         "host": total_cells / host_rate,
-        "device": _DEVICE_FIXED_S + total_cells / device_rate,
+        "device": (_DEVICE_FIXED_S
+                   + total_cells / (device_rate * max(n_devices, 1))),
     }
     workers = min(_resolve_jobs(n_jobs), os.cpu_count() or 1)
-    if workers > 1 and n_pairs >= MIN_POOL_PAIRS_PER_WORKER * workers:
+    # The pool must clear three gates: real workers, enough pairs per
+    # worker, and a serial runtime that dwarfs the spawn cost — a workload
+    # the host finishes in a few spawn-times can only lose by forking
+    # (the BENCH_PR6 pool-vs-host regression at small scale).
+    if (workers > 1
+            and n_pairs >= MIN_POOL_PAIRS_PER_WORKER * workers
+            and est["host"] > 4 * _POOL_SPAWN_S):
         pool_rate = measured.get("pool")
         est["pool"] = (total_cells / pool_rate if pool_rate else
                        _POOL_SPAWN_S + total_cells
@@ -295,22 +325,25 @@ def _estimated_seconds(n_pairs: int, total_cells: int,
 
 
 def choose_align_backend(backend: str, n_pairs: int, total_cells: int,
-                         n_jobs: int) -> str:
+                         n_jobs: int, n_devices: int = 1) -> str:
     """Resolve an ``align_backend`` setting to a concrete backend.
 
     Explicit settings are honored verbatim.  ``auto`` picks the cheapest
     backend under the cost model: total DP cells over (measured or prior)
     per-backend throughput plus fixed setup costs.  The pool is a
     candidate only when the *effective* worker count (``n_jobs`` capped by
-    the machine's cores) exceeds one and every worker would receive at
-    least :data:`MIN_POOL_PAIRS_PER_WORKER` pairs, so ``n_jobs=0`` on a
-    small workload can never lose to serial by spawning anyway.
+    the machine's cores) exceeds one, every worker would receive at least
+    :data:`MIN_POOL_PAIRS_PER_WORKER` pairs, and the serial estimate
+    itself is several multiples of the pool's spawn cost — so ``auto``
+    never forks for a workload small enough to lose to serial outright.
+    ``n_devices > 1`` credits the device backend with near-linear bin
+    throughput across the group.
     """
     if backend not in ALIGN_BACKENDS:
         raise ValueError(f"unknown align_backend {backend!r}")
     if backend != "auto":
         return backend
-    est = _estimated_seconds(n_pairs, total_cells, n_jobs)
+    est = _estimated_seconds(n_pairs, total_cells, n_jobs, n_devices)
     return min(est, key=est.get)
 
 
@@ -333,12 +366,13 @@ def build_homology_graph(sequences: list[np.ndarray],
     edges are retained as shards complete, never the full score vector.
 
     ``device`` optionally supplies the :class:`repro.device.SimulatedDevice`
-    the offload should run on (sharing its scratch pool, metrics and
-    breakdown with other stages); by default the aligner brings its own.
-    When the device backend is in play, the sequence upload starts on a
-    copy thread *before* the seed filter, so the transfer overlaps
-    candidate-pair discovery (the ``prefetch`` execution-plan idea applied
-    across pipeline stages).
+    (or :class:`repro.device.group.DeviceGroup`) the offload should run on
+    (sharing its scratch pool, metrics and breakdown with other stages); by
+    default the aligner brings its own, a group of ``config.devices``
+    members when that exceeds one.  When the device backend is in play, the
+    sequence upload starts on a copy thread *before* the seed filter, so
+    the transfer overlaps candidate-pair discovery (the ``prefetch``
+    execution-plan idea applied across pipeline stages).
     """
     config = config or HomologyConfig()
     timings = HomologyTimings()
@@ -356,6 +390,10 @@ def build_homology_graph(sequences: list[np.ndarray],
         from repro.core.execplan import EXEC_PREFETCH, ExecutionPlan
         from repro.device.alignment import DeviceAligner
 
+        if device is None and config.devices > 1:
+            from repro.device.group import DeviceGroup
+
+            device = DeviceGroup(config.devices)
         aligner = DeviceAligner(device,
                                 plan=ExecutionPlan.from_mode(EXEC_PREFETCH))
         uploader = ThreadPoolExecutor(max_workers=1,
@@ -413,8 +451,11 @@ def _build_graph(sequences, config, matrix, keep_scores, aligner, upload,
                           count=n)
     short_l, long_l = orient_pair_lengths(pairs, lengths)
     total_cells = int((short_l.astype(np.int64) * long_l).sum())
+    n_devices = (aligner.group.n_devices
+                 if aligner is not None and aligner.group is not None else 1)
     backend = choose_align_backend(config.align_backend, n_pairs,
-                                   total_cells, config.n_jobs)
+                                   total_cells, config.n_jobs,
+                                   n_devices=n_devices)
     if backend == "device" and aligner is None:
         raise ValueError(
             "align_backend resolved to 'device' without a device aligner")

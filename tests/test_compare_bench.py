@@ -1,0 +1,139 @@
+"""Unit tests for scripts/compare_bench.py — the bench diff tool."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+from compare_bench import (  # noqa: E402
+    compare_rows,
+    main,
+    parse_metric_spec,
+    render_deltas,
+    rows_from,
+)
+
+
+class TestParseMetricSpec:
+    def test_bare_name_defaults_lower(self):
+        assert parse_metric_spec("total_s") == ("total_s", "lower")
+
+    def test_explicit_directions(self):
+        assert parse_metric_spec("speedup_vs_1dev:higher") == \
+            ("speedup_vs_1dev", "higher")
+        assert parse_metric_spec("total_s:lower") == ("total_s", "lower")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            parse_metric_spec("total_s:fastest")
+
+
+class TestCompareRows:
+    REF = {"w1": {"total_s": 1.0, "speedup": 2.0},
+           "w2": {"total_s": 5.0}}
+
+    def test_identical_passes(self):
+        deltas, failures = compare_rows(self.REF, self.REF, 0.15)
+        assert failures == []
+        assert all(d["verdict"] == "OK" for d in deltas)
+
+    def test_lower_is_better_regression(self):
+        got = {"w1": {"total_s": 1.5, "speedup": 2.0},
+               "w2": {"total_s": 5.0}}
+        _, failures = compare_rows(self.REF, got, 0.15,
+                                   metrics=[("total_s", "lower")])
+        assert len(failures) == 1
+        assert "w1" in failures[0]
+
+    def test_lower_is_better_improvement_never_fails(self):
+        got = {"w1": {"total_s": 0.1, "speedup": 2.0},
+               "w2": {"total_s": 0.1}}
+        _, failures = compare_rows(self.REF, got, 0.15)
+        assert failures == []
+
+    def test_higher_is_better_regression_is_a_drop(self):
+        got = {"w1": {"total_s": 1.0, "speedup": 1.2},
+               "w2": {"total_s": 5.0}}
+        _, failures = compare_rows(self.REF, got, 0.15,
+                                   metrics=[("speedup", "higher")])
+        assert len(failures) == 1
+        # A higher speedup is an improvement, not a regression.
+        got["w1"]["speedup"] = 10.0
+        _, failures = compare_rows(self.REF, got, 0.15,
+                                   metrics=[("speedup", "higher")])
+        assert failures == []
+
+    def test_within_tolerance_passes(self):
+        got = {"w1": {"total_s": 1.1, "speedup": 2.0},
+               "w2": {"total_s": 5.0}}
+        _, failures = compare_rows(self.REF, got, 0.15)
+        assert failures == []
+
+    def test_missing_row_is_a_failure(self):
+        got = {"w1": {"total_s": 1.0, "speedup": 2.0}}
+        _, failures = compare_rows(self.REF, got, 0.15)
+        assert any("w2" in f and "missing" in f for f in failures)
+
+    def test_missing_metric_is_a_failure(self):
+        got = {"w1": {"speedup": 2.0}, "w2": {"total_s": 5.0}}
+        _, failures = compare_rows(self.REF, got, 0.15,
+                                   metrics=[("total_s", "lower")])
+        assert any("w1" in f and "total_s" in f for f in failures)
+
+    def test_metric_absent_from_reference_is_skipped(self):
+        # A guarded metric only some rows carry does not fail the others.
+        _, failures = compare_rows(self.REF, dict(self.REF), 0.15,
+                                   metrics=[("speedup", "higher")])
+        assert failures == []
+
+    def test_non_numeric_metrics_ignored_by_default(self):
+        ref = {"w": {"total_s": 1.0, "label": "warm", "ok": True}}
+        deltas, failures = compare_rows(ref, ref, 0.15)
+        assert failures == []
+        assert [d["metric"] for d in deltas] == ["total_s"]
+
+
+class TestRendering:
+    def test_table_mentions_every_comparison(self):
+        deltas, _ = compare_rows(TestCompareRows.REF, TestCompareRows.REF,
+                                 0.15)
+        text = render_deltas(deltas, 0.15)
+        assert "w1" in text and "w2" in text
+        assert "total_s" in text and "speedup" in text
+        assert "improvements never fail" in text
+
+    def test_rows_from_validates(self):
+        assert rows_from({"workloads": {"a": {}}}, "workloads") == {"a": {}}
+        with pytest.raises(KeyError):
+            rows_from({"other": {}}, "workloads")
+        with pytest.raises(TypeError):
+            rows_from({"workloads": [1, 2]}, "workloads")
+
+
+class TestCli:
+    def _write(self, tmp_path, name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return str(p)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        ref = self._write(tmp_path, "ref.json",
+                          {"rows": {"w": {"total_s": 1.0}}})
+        got = self._write(tmp_path, "got.json",
+                          {"workloads": {"w": {"total_s": 1.02}}})
+        rc = main([ref, got, "--key", "rows", "--measured-key", "workloads"])
+        assert rc == 0
+        assert "bench comparison passed" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        ref = self._write(tmp_path, "ref.json",
+                          {"workloads": {"w": {"speedup": 2.0}}})
+        got = self._write(tmp_path, "got.json",
+                          {"workloads": {"w": {"speedup": 1.0}}})
+        rc = main([ref, got, "--metric", "speedup:higher",
+                   "--tolerance", "0.15"])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().err

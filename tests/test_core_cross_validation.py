@@ -159,6 +159,32 @@ class TestExecModeEquivalence:
         for mode, result in runs.items():
             assert np.array_equal(result.labels, baseline.labels), mode
 
+    @pytest.mark.parametrize("devices", [1, 2, 4])
+    def test_pipeline_device_counts_identical(self, small_params, devices):
+        """--devices N is bit-identical to the serial baseline for every N."""
+        g = random_blocky_graph(seed=22)
+        serial = SerialPClust(small_params).run(g)
+        got = GpClust(small_params.with_overrides(devices=devices)).run(g)
+        assert np.array_equal(got.labels, serial.labels)
+
+    @pytest.mark.parametrize("mode", sorted(EXEC_MODES))
+    def test_device_counts_cross_modes_identical(self, blocky_graph,
+                                                 small_params, mode):
+        """devices {2,4} x every exec mode: the multidevice schedule that
+        params.execution_plan() forces must match each single-device mode."""
+        from repro.device.group import DeviceGroup
+
+        cfg = small_params.pass_config(1)
+        ref = device_shingle_pass(blocky_graph.indptr, blocky_graph.indices,
+                                  cfg, fresh_device(), trial_chunk=4,
+                                  plan=_plan_for(mode))
+        for devices in (2, 4):
+            plan = ExecutionPlan(mode="multidevice", devices=devices)
+            got = device_shingle_pass(
+                blocky_graph.indptr, blocky_graph.indices, cfg,
+                DeviceGroup(devices), trial_chunk=4, plan=plan)
+            assert got == ref, (mode, devices)
+
     def test_scratch_pool_zero_alloc_steady_state(self, blocky_graph,
                                                   small_params):
         """After warm-up, repeated same-geometry rounds allocate nothing new.
@@ -265,6 +291,30 @@ class TestStreamingAggregation:
         agg = StreamingAggregator(2, 6)
         for lo, hi in [(6, 9), (0, 3), (3, 6)]:  # arrival order shuffled
             agg.add(lo, aggregate_pass(fps[lo:hi], top[lo:hi], lengths, 2))
+        assert agg.result() == whole
+
+    @given(st.integers(0, 10_000), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_any_completion_order_identical(self, seed, data):
+        """The property multi-device sharding rests on: chunks may complete
+        in ANY order (devices race), and the merged result must still equal
+        the whole-array aggregate — for every partition x permutation."""
+        rng = np.random.default_rng(seed)
+        c = int(rng.integers(1, 12))
+        n_rows = int(rng.integers(1, 10))
+        s = int(rng.integers(1, 4))
+        fps, top, lengths = _aggregate_inputs(rng, c, n_rows, s)
+
+        whole = aggregate_pass(fps, top, lengths, s)
+
+        cuts = data.draw(st.sets(st.integers(1, max(c - 1, 1)), max_size=c))
+        bounds = [0] + sorted(b for b in cuts if b < c) + [c]
+        chunks = list(zip(bounds[:-1], bounds[1:]))
+        order = data.draw(st.permutations(range(len(chunks))))
+        agg = StreamingAggregator(s, n_rows)
+        for idx in order:
+            lo, hi = chunks[idx]
+            agg.add(lo, aggregate_pass(fps[lo:hi], top[lo:hi], lengths, s))
         assert agg.result() == whole
 
 

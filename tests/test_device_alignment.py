@@ -374,9 +374,32 @@ class TestScheduler:
         observe_alignment_throughput("host", 100, 0.0)
         assert "host" not in homology_mod._measured_cells_per_s
 
+    def test_auto_never_pools_below_spawn_amortization(self, fresh_cost_model,
+                                                       monkeypatch):
+        # The BENCH_PR6 regression pin: plenty of pairs but a sub-second
+        # host estimate means the fork cost can never amortize, so the
+        # pool must not even be a candidate.
+        monkeypatch.setattr(homology_mod.os, "cpu_count", lambda: 8)
+        small_cells = int(0.9 * 4 * homology_mod._POOL_SPAWN_S
+                          * homology_mod._HOST_CELLS_PER_S)
+        est = homology_mod._estimated_seconds(100_000, small_cells, 0)
+        assert "pool" not in est
+
+    def test_device_estimate_scales_with_device_count(self, fresh_cost_model):
+        one = homology_mod._estimated_seconds(1000, 10**8, 1, n_devices=1)
+        four = homology_mod._estimated_seconds(1000, 10**8, 1, n_devices=4)
+        assert four["device"] < one["device"]
+        # More devices shift auto toward the device backend.
+        assert choose_align_backend("auto", 1000, 10**8, 1,
+                                    n_devices=4) == "device"
+
     def test_config_validates_backend(self):
         with pytest.raises(ValueError, match="align_backend"):
             HomologyConfig(align_backend="gpu")
+
+    def test_config_validates_devices(self):
+        with pytest.raises(ValueError, match="devices"):
+            HomologyConfig(devices=0)
 
 
 class TestHomologyBackends:

@@ -1,0 +1,385 @@
+"""Multi-device group: topology, dispatcher, bit-identity, observability.
+
+The DeviceGroup contract: N independent members behind one facade, with a
+shared breakdown/obs context, a host link whose modeled seconds stretch
+under concurrent sibling transfers, a cheaper peer path for device-device
+exchange, and a deterministic least-loaded dispatcher — and, above all,
+output bit-identical to the single-device and serial paths for every
+member count.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.device_exec import device_shingle_pass
+from repro.core.execplan import EXEC_MULTIDEVICE, ExecutionPlan
+from repro.core.params import ShinglingParams
+from repro.core.pipeline import GpClust, SerialPClust
+from repro.core.serial import serial_shingle_pass
+from repro.device.alignment import DeviceAligner
+from repro.device.device import SimulatedDevice
+from repro.device.group import (
+    DeviceGroup,
+    GroupTopology,
+    HostLink,
+    least_loaded_assignment,
+)
+from repro.device.timingmodels import TransferModel
+from repro.obs import observe, use_obs
+from repro.util.timer import BUCKET_C2G, BUCKET_P2P, TimeBreakdown
+from tests.conftest import random_blocky_graph
+
+
+class TestLeastLoadedAssignment:
+    def test_deterministic_and_balanced(self):
+        costs = [16, 16, 16, 16, 16, 16, 4]
+        owners = least_loaded_assignment(costs, 2)
+        assert owners == least_loaded_assignment(costs, 2)  # pure function
+        loads = [0, 0]
+        for cost, owner in zip(costs, owners):
+            loads[owner] += cost
+        assert max(loads) - min(loads) <= max(costs)
+
+    def test_ties_go_to_lowest_index(self):
+        assert least_loaded_assignment([1, 1, 1], 3) == [0, 1, 2]
+
+    def test_single_member(self):
+        assert least_loaded_assignment([5, 2, 9], 1) == [0, 0, 0]
+
+    def test_rejects_zero_members(self):
+        with pytest.raises(ValueError):
+            least_loaded_assignment([1], 0)
+
+
+class TestHostLink:
+    def test_uncontended_charge_is_identity(self):
+        link = HostLink(lanes=1)
+        assert link.charge(0.5, 1) == 0.5
+        assert link.contended_s == 0.0
+
+    def test_oversubscription_stretches_modeled_seconds(self):
+        link = HostLink(lanes=1)
+        assert link.charge(1.0, 3) == pytest.approx(3.0)
+        assert link.contended_s == pytest.approx(2.0)
+        # Two lanes halve the factor.
+        link2 = HostLink(lanes=2)
+        assert link2.charge(1.0, 3) == pytest.approx(1.5)
+
+    def test_concurrent_transfers_observed(self):
+        """Modeled contention fires when sibling devices really overlap:
+        a barrier holds every thread inside begin()/end() simultaneously."""
+        group = DeviceGroup(3)
+        barrier = threading.Barrier(3)
+        data = np.arange(64, dtype=np.int64)
+
+        def transfer(i):
+            link = group.host_link
+            active = link.begin()
+            try:
+                barrier.wait(timeout=5)
+                link.charge(1.0, active)
+            finally:
+                link.end()
+
+        threads = [threading.Thread(target=transfer, args=(i,))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert group.host_link.peak_active == 3
+        # The last to arrive saw all 3 in flight; total surplus is at least
+        # one transfer's worth even if arrivals staggered.
+        assert group.host_link.contended_s >= 1.0
+        del data
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostLink(lanes=0)
+        with pytest.raises(ValueError):
+            GroupTopology(host_lanes=0)
+
+
+class TestDeviceGroupBasics:
+    def test_members_are_independent(self):
+        group = DeviceGroup(3)
+        assert group.n_devices == 3
+        a = group.members[0].upload(np.arange(100, dtype=np.int64))
+        assert group.members[0].memory.used_bytes > 0
+        assert group.members[1].memory.used_bytes == 0
+        assert group.members[2].memory.used_bytes == 0
+        a.free()
+
+    def test_rejects_zero_devices(self):
+        with pytest.raises(ValueError):
+            DeviceGroup(0)
+
+    def test_shared_breakdown(self):
+        bd = TimeBreakdown()
+        group = DeviceGroup(2, breakdown=bd)
+        buf = group.members[1].upload(np.arange(10, dtype=np.int64))
+        assert bd.get(BUCKET_C2G) > 0.0
+        assert bd.get_modeled(BUCKET_C2G) > 0.0
+        buf.free()
+
+    def test_set_breakdown_repoints_every_member(self):
+        group = DeviceGroup(2)
+        fresh = TimeBreakdown()
+        group.set_breakdown(fresh)
+        assert all(m.breakdown is fresh for m in group.members)
+        buf = group.members[0].upload(np.arange(4, dtype=np.int64))
+        assert fresh.get(BUCKET_C2G) > 0.0
+        buf.free()
+
+
+class TestBroadcastAndPeerCopy:
+    def test_broadcast_reaches_every_member(self):
+        group = DeviceGroup(3)
+        data = np.arange(1000, dtype=np.int64)
+        buffers = group.broadcast(data)
+        assert len(buffers) == 3
+        for buf in buffers:
+            assert np.array_equal(buf.device_view(), data)
+        group.free(*buffers)
+        assert all(m.memory.used_bytes == 0 for m in group.members)
+
+    def test_peer_copies_skip_the_host_link(self):
+        """Broadcast crosses PCIe once: sibling bytes ride the peer fabric,
+        so only member 0's h2d counter moves and data_p2p gets charged."""
+        bd = TimeBreakdown()
+        group = DeviceGroup(3, breakdown=bd)
+        data = np.arange(1000, dtype=np.int64)
+        buffers = group.broadcast(data)
+        assert group.members[0].memory.bytes_to_device == data.nbytes
+        assert group.members[1].memory.bytes_to_device == 0
+        assert group.members[2].memory.bytes_to_device == 0
+        assert group.p2p_bytes == 2 * data.nbytes
+        assert bd.get(BUCKET_P2P) > 0.0
+        assert bd.get_modeled(BUCKET_P2P) > 0.0
+        group.free(*buffers)
+
+    def test_p2p_model_is_cheaper_than_host_bounce(self):
+        """The default peer model must undercut download + re-upload."""
+        group = DeviceGroup(2)
+        nbytes = 10 * 2**20
+        host = group.spec.transfer.seconds_for(nbytes)
+        peer = group.topology.p2p.seconds_for(nbytes)
+        assert peer < 2 * host
+
+    def test_custom_topology(self):
+        slow = TransferModel(latency_s=1.0, bandwidth_bytes_per_s=1.0)
+        group = DeviceGroup(
+            2, topology=GroupTopology(host_lanes=4, p2p=slow))
+        assert group.host_link.lanes == 4
+        bd = group.breakdown
+        buffers = group.broadcast(np.arange(8, dtype=np.int64))
+        assert bd.get_modeled(BUCKET_P2P) >= 1.0  # the slow peer latency
+        group.free(*buffers)
+
+
+class TestGroupObservability:
+    def test_per_device_metric_prefixes(self):
+        ctx = observe(trace=False)
+        with use_obs(ctx):
+            group = DeviceGroup(2)
+            g = random_blocky_graph(seed=40)
+            params = ShinglingParams(c1=12, c2=6, trial_chunk=4, devices=2)
+            GpClust(params).run(g, device=group)
+            group.sync_metrics()
+        counters = ctx.metrics.snapshot()["counters"]
+        gauges = ctx.metrics.snapshot()["gauges"]
+        for i in range(2):
+            assert any(k.startswith(f"device{i}.kernel.") for k in counters), i
+            assert f"device{i}.h2d_bytes" in gauges, i
+        assert gauges["group.n_devices"] == 2
+        assert gauges["group.p2p_bytes"] > 0
+
+    def test_per_device_trace_procs(self):
+        ctx = observe(trace=True)
+        with use_obs(ctx):
+            group = DeviceGroup(2)
+            g = random_blocky_graph(seed=41)
+            params = ShinglingParams(c1=12, c2=6, trial_chunk=4, devices=2)
+            GpClust(params).run(g, device=group)
+        procs = {r.proc for r in ctx.tracer.records}
+        assert {"device0", "device1"} <= procs
+
+    def test_profile_shape(self):
+        group = DeviceGroup(2)
+        buffers = group.broadcast(np.arange(100, dtype=np.int64))
+        group.free(*buffers)
+        prof = group.profile()
+        assert prof["n_devices"] == 2
+        assert len(prof["members"]) == 2
+        assert prof["p2p_bytes"] > 0
+        assert prof["host_link"]["lanes"] == 1
+        # The single-device alias keys every profile consumer relies on.
+        for key in ("kernels", "transfers", "scratch_pool",
+                    "measured_buckets_s"):
+            assert key in prof, key
+        assert prof["transfers"]["bytes_to_device"] > 0
+
+    def test_modeled_kernel_seconds_per_member(self):
+        group = DeviceGroup(2)
+        g = random_blocky_graph(seed=42)
+        params = ShinglingParams(c1=12, c2=6, trial_chunk=4, devices=2)
+        GpClust(params).run(g, device=group)
+        modeled = group.modeled_kernel_seconds()
+        assert len(modeled) == 2
+        assert all(s > 0.0 for s in modeled)  # both members did kernel work
+
+
+class TestShinglePassBitIdentity:
+    @pytest.mark.parametrize("devices", [1, 2, 4])
+    def test_matches_serial(self, blocky_graph, small_params, devices):
+        cfg = small_params.pass_config(1)
+        ref = serial_shingle_pass(blocky_graph.indptr, blocky_graph.indices,
+                                  cfg)
+        plan = ExecutionPlan(mode=EXEC_MULTIDEVICE, devices=devices)
+        got = device_shingle_pass(blocky_graph.indptr, blocky_graph.indices,
+                                  cfg, DeviceGroup(devices), trial_chunk=3,
+                                  plan=plan)
+        assert got == ref
+
+    @pytest.mark.parametrize("devices", [2, 4])
+    def test_multi_batch_matches_serial(self, small_params, devices):
+        """Batches split across the element budget x chunks sharded across
+        members: the out-of-order merge must still be exact."""
+        g = random_blocky_graph(seed=31)
+        cfg = small_params.pass_config(1)
+        ref = serial_shingle_pass(g.indptr, g.indices, cfg)
+        plan = ExecutionPlan(mode=EXEC_MULTIDEVICE, devices=devices)
+        got = device_shingle_pass(g.indptr, g.indices, cfg,
+                                  DeviceGroup(devices), trial_chunk=4,
+                                  max_elements=97, plan=plan)
+        assert got == ref
+
+    def test_plain_device_degrades_to_sync(self, blocky_graph, small_params):
+        """A multidevice plan over a plain SimulatedDevice must still work
+        (serial schedule) — the single-device degradation path."""
+        cfg = small_params.pass_config(1)
+        ref = serial_shingle_pass(blocky_graph.indptr, blocky_graph.indices,
+                                  cfg)
+        plan = ExecutionPlan(mode=EXEC_MULTIDEVICE, devices=2)
+        got = device_shingle_pass(blocky_graph.indptr, blocky_graph.indices,
+                                  cfg, SimulatedDevice(), trial_chunk=3,
+                                  plan=plan)
+        assert got == ref
+
+    def test_full_pipeline_across_device_counts(self, small_params):
+        g = random_blocky_graph(seed=23)
+        serial = SerialPClust(small_params).run(g)
+        for devices in (1, 2, 4):
+            params = small_params.with_overrides(devices=devices)
+            result = GpClust(params).run(g)
+            assert np.array_equal(result.labels, serial.labels), devices
+
+    def test_work_actually_distributes(self, small_params):
+        """More than one member must receive kernel launches (the
+        dispatcher is not secretly serial)."""
+        group = DeviceGroup(2)
+        g = random_blocky_graph(seed=24)
+        GpClust(small_params.with_overrides(devices=2)).run(g, device=group)
+        launches = [sum(s["launches"] for s in m.kernel_stats.values())
+                    for m in group.members]
+        assert all(n > 0 for n in launches)
+
+
+class TestAlignerOnGroup:
+    def _pairs(self, n, count, seed=5):
+        rng = np.random.default_rng(seed)
+        return np.stack([rng.integers(0, n, count),
+                         rng.integers(0, n, count)], axis=1)
+
+    def test_scores_bit_identical_across_device_counts(self):
+        from repro.sequence.generator import generate_protein_families
+
+        ps = generate_protein_families(seed=13)
+        pairs = self._pairs(len(ps.sequences), 400)
+        ref = None
+        for devices in (1, 2, 4):
+            device = (DeviceGroup(devices) if devices > 1
+                      else SimulatedDevice())
+            aligner = DeviceAligner(device)
+            aligner.upload_sequences(ps.sequences)
+            scores = aligner.batch_scores(pairs)
+            aligner.release()
+            if ref is None:
+                ref = scores
+            else:
+                assert np.array_equal(scores, ref), devices
+
+    def test_bins_distribute_across_members(self):
+        from repro.sequence.generator import generate_protein_families
+
+        ps = generate_protein_families(seed=13)
+        group = DeviceGroup(2)
+        aligner = DeviceAligner(group)
+        aligner.upload_sequences(ps.sequences)
+        aligner.batch_scores(self._pairs(len(ps.sequences), 600))
+        aligner.release()
+        work = [sum(s["launches"] for s in m.kernel_stats.values())
+                for m in group.members]
+        assert all(n > 0 for n in work)
+        assert all(m.memory.used_bytes == 0 for m in group.members)
+
+    def test_homology_graph_identical_across_device_counts(self):
+        import dataclasses
+
+        from repro.sequence.generator import generate_protein_families
+        from repro.sequence.homology import HomologyConfig, build_homology_graph
+
+        ps = generate_protein_families(seed=13)
+        base = HomologyConfig(align_backend="device")
+        ref = build_homology_graph(ps.sequences, base)
+        for devices in (2, 4):
+            got = build_homology_graph(
+                ps.sequences, dataclasses.replace(base, devices=devices))
+            assert np.array_equal(got.graph.indptr, ref.graph.indptr)
+            assert np.array_equal(got.graph.indices, ref.graph.indices)
+            assert np.array_equal(got.normalized_scores,
+                                  ref.normalized_scores)
+
+
+class TestParamsWiring:
+    def test_devices_forces_multidevice_plan(self):
+        plan = ShinglingParams(devices=3).execution_plan()
+        assert plan.mode == EXEC_MULTIDEVICE
+        assert plan.devices == 3
+        assert plan.n_workers == 3
+        assert plan.resident_factor == 1  # batch replicated, not divided
+
+    def test_single_device_keeps_exec_mode(self):
+        plan = ShinglingParams(exec_mode="prefetch", devices=1).execution_plan()
+        assert plan.mode == "prefetch"
+
+    def test_devices_validation(self):
+        with pytest.raises(ValueError):
+            ShinglingParams(devices=0)
+        with pytest.raises(ValueError):
+            ExecutionPlan(mode=EXEC_MULTIDEVICE, devices=0)
+
+    def test_cli_accepts_devices(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["cluster", "g.npz", "--devices", "2",
+             "--exec-mode", "multidevice"])
+        assert args.devices == 2
+        assert args.exec_mode == "multidevice"
+
+    def test_end_to_end_devices_override(self):
+        from repro.pipeline.end_to_end import run_end_to_end
+        from repro.sequence.generator import (SequenceFamilyConfig,
+                                              generate_protein_families)
+
+        ps = generate_protein_families(
+            SequenceFamilyConfig(n_families=4, family_size_median=8.0),
+            seed=2)
+        ref = run_end_to_end(protein_set=ps, seed=3)
+        got = run_end_to_end(protein_set=ps, seed=3, devices=2)
+        assert np.array_equal(ref.clustering.labels, got.clustering.labels)
+        assert np.array_equal(ref.homology.graph.indices,
+                              got.homology.graph.indices)

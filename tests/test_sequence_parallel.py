@@ -104,6 +104,16 @@ class TestParallelDeterminism:
                     assert hi == lo2
                 assert all(lo < hi for lo, hi in bounds)
 
+    def test_shard_bounds_single_job_single_shard(self):
+        # One worker gets one shard: no merge bookkeeping, no per-shard
+        # dispatch overhead on the serial path.
+        assert _shard_bounds(10_000, 8, 1) == [(0, 10_000)]
+        assert _shard_bounds(10_000, 8, 0) == [(0, 10_000)]
+
+    def test_shard_bounds_empty(self):
+        assert _shard_bounds(0, 8, 1) == []
+        assert _shard_bounds(0, 8, 4) == []
+
 
 class TestSequenceArena:
     def test_round_trip(self):
