@@ -26,6 +26,13 @@ Usage::
 
 With no ``--metric``, every numeric metric shared by a reference row and
 its measured counterpart is compared (all treated as lower-is-better).
+
+Rows may carry tag keys (currently ``host_cores``) describing the machine
+that measured them.  Tags are never compared as metrics; when the reference
+and measured rows were produced on machines with different ``host_cores``,
+wall-clock metrics are reported with a ``SKIP`` verdict instead of a
+pass/fail — comparing wall seconds across core counts is noise, and the
+modeled metrics still guard the row.
 """
 
 from __future__ import annotations
@@ -37,6 +44,21 @@ from pathlib import Path
 
 #: Valid direction suffixes of a ``--metric name[:direction]`` spec.
 DIRECTIONS = ("lower", "higher")
+
+#: Row keys that describe the measuring machine, not the measurement —
+#: never compared as metrics.
+TAG_KEYS = frozenset({"host_cores"})
+
+#: Metrics that measure wall-clock time (or wall-clock-derived speedups),
+#: meaningless to compare across machines with different core counts.
+WALL_METRICS = frozenset({"total_s", "cpu_s", "gpu_s", "alignment_s",
+                          "overhead_frac"})
+
+
+def _is_wall_metric(name: str) -> bool:
+    """Whether ``name`` is wall-clock-derived (vs modeled/counted)."""
+    return (name in WALL_METRICS or name.startswith("wall_")
+            or name.endswith("_wall"))
 
 
 def parse_metric_spec(spec: str) -> tuple[str, str]:
@@ -53,7 +75,14 @@ def parse_metric_spec(spec: str) -> tuple[str, str]:
 
 def _numeric_metrics(row: dict) -> list[str]:
     return [k for k, v in row.items()
-            if isinstance(v, (int, float)) and not isinstance(v, bool)]
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+            and k not in TAG_KEYS]
+
+
+def _host_cores_differ(ref: dict, got: dict) -> bool:
+    """True when both rows carry ``host_cores`` and they disagree."""
+    return ("host_cores" in ref and "host_cores" in got
+            and ref["host_cores"] != got["host_cores"])
 
 
 def compare_rows(ref_rows: dict, got_rows: dict, tolerance: float,
@@ -67,6 +96,12 @@ def compare_rows(ref_rows: dict, got_rows: dict, tolerance: float,
     messages (empty == pass).  A reference row or metric missing from the
     measured side is itself a failure: silently-dropped coverage must not
     read as a pass.
+
+    When a reference row and its measured counterpart both carry a
+    ``host_cores`` tag and the values differ, wall-clock metrics (see
+    :data:`WALL_METRICS`) get a ``SKIP`` verdict instead of pass/fail —
+    they were measured on different machines.  Modeled and counted metrics
+    still compare normally.
     """
     deltas: list[dict] = []
     failures: list[str] = []
@@ -75,6 +110,7 @@ def compare_rows(ref_rows: dict, got_rows: dict, tolerance: float,
             failures.append(f"{name}: missing from measured results")
             continue
         got = got_rows[name]
+        skip_wall = _host_cores_differ(ref, got)
         row_metrics = metrics or [(m, "lower") for m in _numeric_metrics(ref)]
         for metric, direction in row_metrics:
             if metric not in ref:
@@ -86,6 +122,12 @@ def compare_rows(ref_rows: dict, got_rows: dict, tolerance: float,
             ref_val = float(ref[metric])
             got_val = float(got[metric])
             delta_frac = (got_val / ref_val - 1.0) if ref_val else 0.0
+            if skip_wall and _is_wall_metric(metric):
+                deltas.append({"row": name, "metric": metric,
+                               "direction": direction, "ref": ref_val,
+                               "got": got_val, "delta_frac": delta_frac,
+                               "verdict": "SKIP"})
+                continue
             if direction == "higher":
                 regressed = got_val < ref_val * (1.0 - tolerance)
             else:
@@ -159,11 +201,19 @@ def main(argv: list[str] | None = None) -> int:
                                     metrics)
     print(render_deltas(deltas, args.tolerance))
     if failures:
-        print("\nBENCH COMPARISON FAILED:", file=sys.stderr)
+        # Every failed comparison is listed — a run with five regressions
+        # must name all five, not just the first one encountered.
+        print(f"\nBENCH COMPARISON FAILED — {len(failures)} issue(s):",
+              file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print("bench comparison passed")
+    skipped = sum(1 for d in deltas if d["verdict"] == "SKIP")
+    if skipped:
+        print(f"bench comparison passed "
+              f"({skipped} wall metric(s) skipped: host_cores differ)")
+    else:
+        print("bench comparison passed")
     return 0
 
 

@@ -33,6 +33,11 @@ With ``--devices N > 1`` both runs go through a ``DeviceGroup``: the
 clustering workload switches to ``exec_mode=multidevice`` and the traced
 documents must then carry per-device processes (``device0`` ..
 ``device{N-1}``), which this script asserts.
+
+With ``--aggregate-backend device`` the clustering run offloads the
+inter-pass aggregation and Phase III, and the 2m trace must then carry a
+``device.aggregate`` span and ``device.cc.*`` spans — asserted here so CI
+notices if the offload silently degrades to the host path.
 """
 
 from __future__ import annotations
@@ -84,6 +89,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--devices", type=int, default=1,
                         help="simulated devices; >1 runs both workloads "
                              "on a DeviceGroup (multidevice exec mode)")
+    parser.add_argument("--aggregate-backend", default="auto",
+                        choices=["auto", "host", "device"],
+                        help="inter-pass aggregation + Phase III backend "
+                             "for the clustering run; 'device' asserts the "
+                             "offload spans appear in the trace")
     parser.add_argument("--out-dir", default=str(RESULTS_DIR),
                         help="artifact directory")
     args = parser.parse_args(argv)
@@ -92,10 +102,12 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = get_scale()
     graph = make_runtime_workload(WORKLOAD, scale).graph
-    params = workload_params(scale).with_overrides(devices=args.devices)
+    params = workload_params(scale).with_overrides(
+        devices=args.devices, aggregate_backend=args.aggregate_backend)
     print(f"workload {WORKLOAD} (scale={scale}): "
           f"{graph.n_vertices} vertices, {graph.n_edges} edges, "
-          f"devices={args.devices}")
+          f"devices={args.devices}, "
+          f"aggregate_backend={args.aggregate_backend}")
 
     GpClust(params).run(graph)  # warm-up: page in buffers, prime pools
     off_s = _best_of(args.repeats, lambda: GpClust(params).run(graph))
@@ -150,6 +162,18 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"root span {root_s:.4f}s does not reconcile with reported "
                 f"wall time {reported_s:.4f}s (drift {drift:.2%})")
+
+    # --- aggregation/Phase III offload spans ----------------------------
+    if args.aggregate_backend == "device":
+        span_names = {r.name for r in records}
+        if "device.aggregate" not in span_names:
+            failures.append(
+                "device-aggregation trace has no device.aggregate span "
+                "(the inter-pass merge did not run on the device)")
+        if not any(name.startswith("device.cc.") for name in span_names):
+            failures.append(
+                "device-aggregation trace has no device.cc.* span "
+                "(Phase III did not run as the CC kernels)")
 
     # --- homology build on the device alignment backend -----------------
     import dataclasses

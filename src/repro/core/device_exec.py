@@ -43,7 +43,7 @@ from repro.core.aggregate import (StreamingAggregator, aggregate_pass,
                                   merge_splits_into)
 from repro.core.execplan import (EXEC_MULTIDEVICE, EXEC_PREFETCH, EXEC_SYNC,
                                  ExecutionPlan, trial_chunks)
-from repro.core.params import KERNEL_FUSED, PassConfig
+from repro.core.params import AGG_AUTO, AGG_HOST, KERNEL_FUSED, PassConfig
 from repro.core.passresult import PassResult
 from repro.device.batching import max_batch_elements, plan_batches
 from repro.device.device import SimulatedDevice
@@ -256,10 +256,24 @@ def _single_batch_streaming(
     # requires; the only other gate is the 63-bit key-packing bound.
     use_reduce = (kernel == KERNEL_FUSED
                   and reduce_keys_fit(t_max, n_rows, s, n_values))
+    # Device-backed aggregation: keep every chunk's compacted partial
+    # resident and merge on-device (group-by kernels), downloading only the
+    # final bipartite CSR.  Requires the on-device reduction (the partials
+    # must exist on the device in wire form) and that the worst-case
+    # resident partial volume — every chunk fully distinct — fits device
+    # memory with headroom for the merge working set.  Both "auto" and a
+    # forced "device" degrade to the host merge when a prerequisite is
+    # missing; results are bit-identical either way.
+    agg_backend = getattr(config, "aggregate_backend", AGG_AUTO)
+    c_total = sum(hi - lo for lo, hi in chunks)
+    resident_fits = (3 * c_total * n_rows * (16 + 4 * s)
+                     < device.spec.memory_capacity_bytes)
+    use_dev_agg = (use_reduce and agg_backend != AGG_HOST and resident_fits)
 
     with breakdown.timing(BUCKET_CPU):
         seg_ids_table = segment_element_ids(batch.local_indptr)
-        aggregator = StreamingAggregator(s, n_seg)
+        aggregator = StreamingAggregator(
+            s, n_seg, device=device if use_dev_agg else None)
         host_pool = ScratchPool()  # reused download staging across chunks
 
     d_elems = _broadcast(device, group_members, multi,
@@ -272,11 +286,18 @@ def _single_batch_streaming(
     tracer = device.obs.tracer
 
     def run_chunk_reduce(lo: int, hi: int, dev: int) -> None:
-        fps, members, gen_counts, gens = group_members[dev].shingle_chunk_reduce(
+        member = group_members[dev]
+        out = member.shingle_chunk_reduce(
             d_elems[dev], d_indptrs[dev], d_gens[dev],
             a=a[lo:hi], b=b[lo:hi], prime=config.prime, s=s,
             salts=salts[lo:hi], seg_ids=seg_ids_table, n_values=n_values,
-            label=f"trials {lo}-{hi - 1}")
+            resident=use_dev_agg, label=f"trials {lo}-{hi - 1}")
+        if use_dev_agg:
+            # The partial never leaves the device: record the resident
+            # buffers and move on (no per-chunk host aggregation at all).
+            aggregator.add_resident(lo, member, out)
+            return
+        fps, members, gen_counts, gens = out
         with breakdown.timing(BUCKET_CPU), \
                 tracer.span("exec.chunk_aggregate"):
             gen_indptr = np.zeros(gen_counts.size + 1, dtype=np.int64)
@@ -312,6 +333,12 @@ def _single_batch_streaming(
                     members=group_members)
     finally:
         device.free(*(d_elems + d_indptrs + d_gens))
+
+    if use_dev_agg and aggregator.n_partials:
+        # The device merge charges its own gpu/g2c/cpu buckets internally —
+        # no blanket cpu timing here, or those seconds would double-count.
+        with tracer.span("exec.merge_partials"):
+            return aggregator.result()
 
     with breakdown.timing(BUCKET_CPU), tracer.span("exec.merge_partials"):
         if aggregator.n_partials == 0:

@@ -22,6 +22,12 @@ under three plans:
     CUDA streams.  The element budget is divided by the stream count because
     each stream holds its own working set on the device.
 
+``multidevice``
+    Chunk sharding across a :class:`~repro.device.group.DeviceGroup`.  When
+    device-backed aggregation is active, each member's chunk partials stay
+    resident and are gathered onto member 0 over the p2p fabric before the
+    on-device merge.
+
 All plans produce bit-identical :class:`~repro.core.passresult.PassResult`s;
 only the schedule (and therefore the wall-clock overlap) differs.  Table-I
 buckets stay faithful under concurrency: each component accumulates its own

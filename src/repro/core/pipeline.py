@@ -22,9 +22,11 @@ from repro.core.device_exec import device_shingle_pass
 from repro.core.execplan import (EXEC_MULTIDEVICE, EXEC_PREFETCH, EXEC_SYNC,
                                  ExecutionPlan)
 from repro.core.params import (
+    AGG_HOST,
     GROUPING_ONE_SHINGLE,
     REPORT_PARTITION,
     UNION_UNIONFIND,
+    UNION_VECTORIZED,
     ShinglingParams,
 )
 from repro.core.report import one_shingle_labels, report_clusters
@@ -162,12 +164,29 @@ class GpClust:
                 kernel=params.kernel, trial_chunk=params.trial_chunk,
                 max_elements=self.max_batch_elements, plan=self.plan)
 
-        with breakdown.timing(BUCKET_CPU), tracer.span("phase3.report"):
-            output = report_clusters(
-                pass1, pass2, graph.n_vertices,
-                mode=params.report_mode,
-                backend=params.union_backend,
-                include_generators=params.include_generators)
+        # Phase III on the device: vectorized partition-mode union runs as
+        # the hooking/pointer-jumping kernels (bit-identical labels).  The
+        # scalar union-find backend and overlapping mode stay the host
+        # fallback.  No blanket cpu timing around the device path — it
+        # charges its own cpu/gpu/transfer buckets internally.
+        use_device_cc = (params.aggregate_backend != AGG_HOST
+                         and params.report_mode == REPORT_PARTITION
+                         and params.union_backend == UNION_VECTORIZED)
+        if use_device_cc:
+            with tracer.span("phase3.report"):
+                output = report_clusters(
+                    pass1, pass2, graph.n_vertices,
+                    mode=params.report_mode,
+                    backend=params.union_backend,
+                    include_generators=params.include_generators,
+                    device=device)
+        else:
+            with breakdown.timing(BUCKET_CPU), tracer.span("phase3.report"):
+                output = report_clusters(
+                    pass1, pass2, graph.n_vertices,
+                    mode=params.report_mode,
+                    backend=params.union_backend,
+                    include_generators=params.include_generators)
 
         self._record_run(tracer, t_start, graph)
         return _make_result(graph.n_vertices, params, "device", output,

@@ -29,6 +29,7 @@ from repro.core.passresult import PassResult
 from repro.graph.components import bipartite_components
 from repro.graph.unionfind import UnionFind, union_edges, union_groups
 from repro.obs import get_obs
+from repro.util.timer import BUCKET_CPU
 
 
 def _phase3_groups(pass1: PassResult, pass2: PassResult,
@@ -151,15 +152,31 @@ def _phase3_edges(pass1: PassResult, pass2: PassResult,
 
 def partition_labels(pass1: PassResult, pass2: PassResult, n_vertices: int,
                      backend: str = UNION_VECTORIZED,
-                     include_generators: bool = False) -> np.ndarray:
+                     include_generators: bool = False,
+                     device=None) -> np.ndarray:
     """Phase III partition mode: dense per-vertex cluster labels.
 
     Unclustered vertices end up in singleton clusters.  Labels are canonical
     (sets ordered by their smallest vertex id == order of first appearance),
     so both backends return identical arrays.
+
+    With a ``device`` and the vectorized backend, the union fixpoint runs
+    as the device's hooking + pointer-jumping kernels (bit-identical
+    labels); edge construction and canonicalization stay host work, charged
+    to the cpu bucket so the Table-I accounting still reconciles.
     """
     tracer = get_obs().tracer
     if backend == UNION_VECTORIZED:
+        if device is not None:
+            with device.breakdown.timing(BUCKET_CPU):
+                src, dst = _phase3_edges(pass1, pass2, include_generators)
+            with tracer.span("phase3.union", backend=backend,
+                             n_vertices=n_vertices,
+                             n_union_edges=int(src.size)):
+                roots = union_edges(n_vertices, src, dst, device=device)
+            with device.breakdown.timing(BUCKET_CPU):
+                _, labels = np.unique(roots, return_inverse=True)
+                return labels.astype(np.int64)
         src, dst = _phase3_edges(pass1, pass2, include_generators)
         with tracer.span("phase3.union", backend=backend,
                          n_vertices=n_vertices, n_union_edges=int(src.size)):
@@ -253,16 +270,19 @@ def one_shingle_labels(pass1: PassResult, n_vertices: int,
 def report_clusters(pass1: PassResult, pass2: PassResult, n_vertices: int, *,
                     mode: str = REPORT_PARTITION,
                     backend: str = UNION_VECTORIZED,
-                    include_generators: bool = False):
+                    include_generators: bool = False,
+                    device=None):
     """Dispatch to the requested Phase III formulation.
 
     Returns a label array (partition mode) or a list of vertex-id arrays
-    (overlapping mode).
+    (overlapping mode).  ``device`` offloads the partition-mode union (see
+    :func:`partition_labels`); overlapping mode always runs on the host.
     """
     if mode == REPORT_PARTITION:
         return partition_labels(pass1, pass2, n_vertices,
                                 backend=backend,
-                                include_generators=include_generators)
+                                include_generators=include_generators,
+                                device=device)
     if mode == REPORT_OVERLAPPING:
         return overlapping_clusters(pass1, pass2,
                                     include_generators=include_generators)

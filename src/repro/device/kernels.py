@@ -49,6 +49,17 @@ Kernel inventory
 ``segment_element_ids``
     Auxiliary iota: the segment id of every element — computed once per
     batch and reused by every selection round.
+``agg_sort`` / ``agg_boundaries`` / ``agg_invert``
+    Inter-pass aggregation group-by: merge the per-chunk sorted fingerprint
+    runs from ``chunk_reduce`` (stable argsort over the concatenation),
+    flag run boundaries + build the group inverse, and invert the generator
+    lists into one bipartite CSR — the device analogue of the host
+    StreamingAggregator merge, bit-identical by construction.
+``cc_hook`` / ``cc_jump``
+    Phase III connected components: one min-label hooking round (atomic-min
+    scatter over the edge list) and one pointer-jumping round
+    (``labels[labels]`` gather).  Iterated to a fixpoint, these converge to
+    the canonical min-vertex labeling of each component.
 """
 
 from __future__ import annotations
@@ -604,6 +615,100 @@ def _merge_fp_collisions(fps: np.ndarray, members: np.ndarray,
                              minlength=n_groups).astype(np.uint32)
     return (fps[is_new], members[reps], gen_counts,
             (kept & _ID_MASK).astype(np.uint32))
+
+
+def agg_sort(fp_parts: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Merge the sorted per-chunk fingerprint runs into one global order.
+
+    A real device would run a segmented merge over the already-sorted runs;
+    here one stable argsort over the concatenation produces the identical
+    permutation (stability preserves within-run — i.e. chunk — order, which
+    is what makes the first element of each run the globally-first
+    occurrence downstream).
+
+    Returns ``(fp_cat, order)``: the concatenated fingerprints and the
+    stable sort permutation.
+    """
+    fp_cat = np.concatenate(fp_parts)
+    order = np.argsort(fp_cat, kind="stable")
+    return fp_cat, order
+
+
+def agg_boundaries(fp_cat: np.ndarray, order: np.ndarray
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run boundaries + group inverse over the globally-sorted fingerprints.
+
+    Returns ``(fp_sorted, run_starts, inverse)`` where ``run_starts`` indexes
+    the first (globally-first-occurrence) entry of each distinct fingerprint
+    in the sorted order and ``inverse[i]`` is the dense group id of
+    concatenated entry ``i`` — exactly the host merge's scatter
+    ``inverse[order] = cumsum(is_start) - 1``.
+    """
+    fp_sorted = fp_cat[order]
+    n = fp_cat.size
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(fp_sorted[1:], fp_sorted[:-1], out=is_start[1:])
+    run_starts = np.flatnonzero(is_start)
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = np.cumsum(is_start) - 1
+    return fp_sorted, run_starts, inverse
+
+
+def agg_invert(inverse: np.ndarray, count_parts: list[np.ndarray],
+               gen_parts: list[np.ndarray], n_groups: int
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Union the per-chunk generator lists per merged fingerprint group.
+
+    Re-keys every generator entry by its merged group id (packed
+    ``group << 32 | gen``), sorts, and drops adjacent duplicates — the same
+    packed-key group-by as the host merge and :func:`_merge_fp_collisions`,
+    so the resulting ``(gen_counts, gens)`` pair is bit-identical to the
+    host StreamingAggregator's bipartite CSR payload.
+    """
+    keys_parts = []
+    offset = 0
+    for counts, gens in zip(count_parts, gen_parts):
+        k = counts.size
+        entry_groups = np.repeat(inverse[offset:offset + k].astype(np.uint64),
+                                 counts)
+        keys_parts.append((entry_groups << _ID_BITS) | gens.astype(np.uint64))
+        offset += k
+    keys = np.concatenate(keys_parts)
+    if keys.size == 0:
+        return (np.zeros(n_groups, dtype=np.uint32),
+                np.empty(0, dtype=np.uint32))
+    keys.sort(kind="stable")
+    keep = np.empty(keys.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+    kept = keys[keep]
+    gen_counts = np.bincount((kept >> _ID_BITS).astype(np.int64),
+                             minlength=n_groups).astype(np.uint32)
+    return gen_counts, (kept & _ID_MASK).astype(np.uint32)
+
+
+def cc_hook(labels: np.ndarray, src: np.ndarray, dst: np.ndarray) -> None:
+    """One min-label hooking round over an edge list, in place.
+
+    Every edge pulls both endpoints down to the smaller of their current
+    labels — the atomic-min scatter of a GPU hooking kernel
+    (``np.minimum.at`` is the unordered-atomic analogue).
+    """
+    lo = np.minimum(labels[src], labels[dst])
+    np.minimum.at(labels, src, lo)
+    np.minimum.at(labels, dst, lo)
+
+
+def cc_jump(labels: np.ndarray, out: np.ndarray) -> bool:
+    """One pointer-jumping round: ``out = labels[labels]``.
+
+    Returns True when the round changed anything (the caller copies ``out``
+    back into ``labels`` and iterates until False — at most O(log n)
+    rounds since every jump at least halves the pointer-chain depth).
+    """
+    np.take(labels, labels, out=out)
+    return not np.array_equal(out, labels)
 
 
 def count_kernel_elements(kernel: str, n_trials: int, nnz: int, n_seg: int, s: int) -> int:

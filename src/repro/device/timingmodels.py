@@ -46,6 +46,14 @@ class KernelCostModel:
     top-s selection; ``reduce`` fingerprint folding and similar O(n) passes;
     ``scan`` block-parallel prefix scans (the alignment kernels' left-gap
     chain runs one max-plus scan per DP row).
+
+    The inter-pass aggregation and Phase III offloads add their own classes:
+    ``agg_sort`` (merging already-sorted fingerprint runs — cheaper than a
+    from-scratch radix sort), ``agg_boundaries`` (run-boundary flags plus the
+    inverse scatter, a scan-class pass), ``agg_invert`` (the generator-list
+    re-key + sort + dedup group-by), ``cc_hook`` (atomic-min edge scatter of
+    one hooking round) and ``cc_jump`` (the ``labels[labels]`` gather of one
+    pointer-jumping round).
     """
 
     launch_latency_s: float = 5e-6
@@ -54,6 +62,11 @@ class KernelCostModel:
     select_eps: float = 8e9
     reduce_eps: float = 20e9
     scan_eps: float = 10e9
+    agg_sort_eps: float = 1.2e9
+    agg_scan_eps: float = 10e9
+    agg_invert_eps: float = 1.5e9
+    cc_hook_eps: float = 2.0e9
+    cc_jump_eps: float = 8.0e9
 
     def seconds_for(self, kernel: str, n_elements: int) -> float:
         """Modeled seconds for a kernel touching ``n_elements`` elements."""
@@ -63,6 +76,11 @@ class KernelCostModel:
             "select": self.select_eps,
             "reduce": self.reduce_eps,
             "scan": self.scan_eps,
+            "agg_sort": self.agg_sort_eps,
+            "agg_boundaries": self.agg_scan_eps,
+            "agg_invert": self.agg_invert_eps,
+            "cc_hook": self.cc_hook_eps,
+            "cc_jump": self.cc_jump_eps,
         }
         if kernel not in rates:
             raise ValueError(f"unknown kernel class {kernel!r}")

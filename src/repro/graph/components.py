@@ -81,17 +81,26 @@ def _canonicalize(labels: np.ndarray) -> np.ndarray:
     return out
 
 
-def connected_components(graph: CSRGraph, method: str = "label_propagation") -> np.ndarray:
+def connected_components(graph: CSRGraph, method: str = "label_propagation",
+                         device=None) -> np.ndarray:
     """Per-vertex component labels, dense in ``[0, n_components)``.
 
     Labels are canonical (order of first vertex appearance), so both methods
-    return identical arrays for the same graph.
+    return identical arrays for the same graph.  A ``device`` runs the
+    label-propagation fixpoint as the device's ``cc_hook``/``cc_jump``
+    kernels — the raw min-vertex labels are identical, so the canonical
+    output is too.
     """
     if method == "bfs":
         return _cc_bfs(graph)
     if method == "label_propagation":
         edges = graph.edges()
-        raw = _cc_label_propagation(graph.n_vertices, edges[:, 0], edges[:, 1])
+        if device is not None:
+            raw = device.connected_components(edges[:, 0], edges[:, 1],
+                                              graph.n_vertices)
+        else:
+            raw = _cc_label_propagation(graph.n_vertices,
+                                        edges[:, 0], edges[:, 1])
         return _canonicalize(raw)
     raise ValueError(f"unknown method {method!r}")
 

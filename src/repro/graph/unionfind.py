@@ -169,19 +169,34 @@ def union_groups(n: int, group_offsets: np.ndarray, group_members: np.ndarray) -
     return union_edges(n, leaders, group_members)
 
 
-def union_edges(n: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+def union_edges(n: int, src: np.ndarray, dst: np.ndarray,
+                device=None) -> np.ndarray:
     """Min-label propagation over explicit edges; returns root labels.
 
     The engine behind :func:`union_groups` for callers that already hold an
     edge list.  Edges are deduplicated up front (labels are invariant under
     edge multiplicity, and the shingle tables repeat pairs heavily), then
     hooking + pointer jumping run to fixpoint.
+
+    With a ``device`` (a :class:`~repro.device.device.SimulatedDevice` or
+    :class:`~repro.device.group.DeviceGroup`), the fixpoint iteration runs
+    as the device's ``cc_hook``/``cc_jump`` kernels instead of the host
+    loop; the result is bit-identical (any fixpoint of min-label hooking is
+    the unique min-vertex-per-component labeling).  Dedup stays on the host
+    and is charged to the cpu bucket.
     """
     src = np.asarray(src, dtype=np.int64)
     dst = np.asarray(dst, dtype=np.int64)
     labels = np.arange(n, dtype=np.int64)
     if src.size == 0:
         return labels
+    if device is not None:
+        from repro.util.timer import BUCKET_CPU
+        with device.breakdown.timing(BUCKET_CPU):
+            src, dst = _dedup_edges(n, src, dst)
+        if src.size == 0:
+            return labels
+        return device.connected_components(src, dst, n)
     src, dst = _dedup_edges(n, src, dst)
 
     while True:

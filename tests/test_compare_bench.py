@@ -95,6 +95,59 @@ class TestCompareRows:
         assert failures == []
         assert [d["metric"] for d in deltas] == ["total_s"]
 
+    def test_all_regressions_reported_not_just_first(self):
+        # Two rows, two regressed metrics each — all four must be listed.
+        ref = {"w1": {"total_s": 1.0, "cc_rounds": 4.0},
+               "w2": {"total_s": 2.0, "cc_rounds": 3.0}}
+        got = {"w1": {"total_s": 9.0, "cc_rounds": 9.0},
+               "w2": {"total_s": 9.0, "cc_rounds": 9.0}}
+        _, failures = compare_rows(ref, got, 0.15)
+        assert len(failures) == 4
+        for row in ("w1", "w2"):
+            for metric in ("total_s", "cc_rounds"):
+                assert any(row in f and metric in f for f in failures)
+
+
+class TestHostCoresTag:
+    def test_tag_never_compared_as_metric(self):
+        ref = {"w": {"total_s": 1.0, "host_cores": 1}}
+        got = {"w": {"total_s": 1.0, "host_cores": 64}}
+        deltas, failures = compare_rows(ref, got, 0.15)
+        assert failures == []
+        assert "host_cores" not in [d["metric"] for d in deltas]
+
+    def test_wall_metrics_skipped_when_host_cores_differ(self):
+        ref = {"w": {"total_s": 1.0, "wall_speedup_vs_1dev": 2.0,
+                     "modeled_device_s": 0.01, "host_cores": 1}}
+        got = {"w": {"total_s": 9.0, "wall_speedup_vs_1dev": 0.5,
+                     "modeled_device_s": 0.01, "host_cores": 8}}
+        deltas, failures = compare_rows(ref, got, 0.15)
+        # Wall regressions on a different machine are noise, not failures.
+        assert failures == []
+        verdicts = {d["metric"]: d["verdict"] for d in deltas}
+        assert verdicts["total_s"] == "SKIP"
+        assert verdicts["wall_speedup_vs_1dev"] == "SKIP"
+        assert verdicts["modeled_device_s"] == "OK"
+
+    def test_modeled_metrics_still_guard_across_machines(self):
+        ref = {"w": {"modeled_device_s": 0.01, "host_cores": 1}}
+        got = {"w": {"modeled_device_s": 0.09, "host_cores": 8}}
+        _, failures = compare_rows(ref, got, 0.15)
+        assert len(failures) == 1 and "modeled_device_s" in failures[0]
+
+    def test_same_host_cores_compares_wall_normally(self):
+        ref = {"w": {"total_s": 1.0, "host_cores": 4}}
+        got = {"w": {"total_s": 9.0, "host_cores": 4}}
+        _, failures = compare_rows(ref, got, 0.15)
+        assert len(failures) == 1 and "total_s" in failures[0]
+
+    def test_untagged_rows_compare_wall_normally(self):
+        # Pre-PR8 references carry no tag: behavior is unchanged.
+        ref = {"w": {"total_s": 1.0}}
+        got = {"w": {"total_s": 9.0, "host_cores": 8}}
+        _, failures = compare_rows(ref, got, 0.15)
+        assert len(failures) == 1
+
 
 class TestRendering:
     def test_table_mentions_every_comparison(self):
@@ -137,3 +190,28 @@ class TestCli:
                    "--tolerance", "0.15"])
         assert rc == 1
         assert "FAILED" in capsys.readouterr().err
+
+    def test_failure_message_lists_every_regressed_metric(self, tmp_path,
+                                                          capsys):
+        ref = self._write(tmp_path, "ref.json", {"workloads": {
+            "w1": {"total_s": 1.0, "cc_rounds": 4.0},
+            "w2": {"total_s": 2.0}}})
+        got = self._write(tmp_path, "got.json", {"workloads": {
+            "w1": {"total_s": 9.0, "cc_rounds": 9.0},
+            "w2": {"total_s": 9.0}}})
+        rc = main([ref, got])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "3 issue(s)" in err
+        assert err.count("total_s") == 2 and "cc_rounds" in err
+        assert "w1" in err and "w2" in err
+
+    def test_cross_machine_wall_skip_passes_cli(self, tmp_path, capsys):
+        ref = self._write(tmp_path, "ref.json", {"workloads": {
+            "w": {"total_s": 1.0, "host_cores": 1}}})
+        got = self._write(tmp_path, "got.json", {"workloads": {
+            "w": {"total_s": 9.0, "host_cores": 8}}})
+        rc = main([ref, got])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SKIP" in out and "host_cores differ" in out

@@ -1,0 +1,140 @@
+"""Device Phase III (hooking + pointer-jumping CC kernels) — edge cases.
+
+The offloaded connected-components solve must be bit-identical to the host
+union-find on every shape Phase III can see: an empty G_II, singleton
+components, components whose edges span trial-chunk boundaries, and (via
+hypothesis) arbitrary random bipartite graphs — on a single device and on
+2- and 4-member device groups.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import ShinglingParams
+from repro.core.pipeline import GpClust, SerialPClust
+from repro.device.device import SimulatedDevice
+from repro.device.group import DeviceGroup
+from repro.graph.components import connected_components
+from repro.graph.csr import CSRGraph
+from repro.graph.unionfind import UnionFind, union_edges
+from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
+
+
+def _devices():
+    return [SimulatedDevice(), DeviceGroup(2), DeviceGroup(4)]
+
+
+def _host_unionfind_labels(n, src, dst):
+    uf = UnionFind(n)
+    uf.union_many(src, dst)
+    return uf.labels()
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("n_members", [1, 2, 4])
+    def test_empty_edge_list(self, n_members):
+        device = DeviceGroup(n_members) if n_members > 1 else SimulatedDevice()
+        empty = np.zeros(0, dtype=np.int64)
+        got = union_edges(7, empty, empty, device=device)
+        assert np.array_equal(got, np.arange(7))
+
+    @pytest.mark.parametrize("n_members", [1, 2, 4])
+    def test_zero_vertices(self, n_members):
+        device = DeviceGroup(n_members) if n_members > 1 else SimulatedDevice()
+        empty = np.zeros(0, dtype=np.int64)
+        got = union_edges(0, empty, empty, device=device)
+        assert got.size == 0
+
+    @pytest.mark.parametrize("n_members", [1, 2, 4])
+    def test_singleton_components_between_edges(self, n_members):
+        # Vertices 2, 5 are isolated; components {0,1}, {3,4}, {6,7}.
+        device = DeviceGroup(n_members) if n_members > 1 else SimulatedDevice()
+        src = np.array([0, 3, 6], dtype=np.int64)
+        dst = np.array([1, 4, 7], dtype=np.int64)
+        got = union_edges(8, src, dst, device=device)
+        host = union_edges(8, src, dst)
+        assert np.array_equal(got, host)
+        assert got[2] == 2 and got[5] == 5
+
+    @pytest.mark.parametrize("n_members", [1, 2, 4])
+    def test_single_chain_spanning_all_shards(self, n_members):
+        # A path 0-1-2-...-63: with contiguous edge sharding every shard
+        # holds a fragment of the same component, so only the per-round
+        # label exchange can converge it to one label.
+        device = DeviceGroup(n_members) if n_members > 1 else SimulatedDevice()
+        n = 64
+        src = np.arange(n - 1, dtype=np.int64)
+        dst = src + 1
+        got = union_edges(n, src, dst, device=device)
+        assert np.array_equal(got, np.zeros(n, dtype=np.int64))
+
+    def test_fewer_edges_than_members(self):
+        # A 4-member group with 2 edges leaves shards empty.
+        device = DeviceGroup(4)
+        src = np.array([0, 5], dtype=np.int64)
+        dst = np.array([1, 6], dtype=np.int64)
+        got = union_edges(8, src, dst, device=device)
+        assert np.array_equal(got, union_edges(8, src, dst))
+
+
+class TestPipelineEdgeCases:
+    def test_empty_g2_all_singletons(self):
+        # Every vertex has degree 1 < s1, so no shingles are ever made,
+        # G_II is empty, and every vertex is its own cluster.
+        graph = CSRGraph.from_edges([(2 * i, 2 * i + 1) for i in range(10)])
+        params = ShinglingParams(s1=2, c1=4, s2=2, c2=4,
+                                 aggregate_backend="device")
+        res = GpClust(params).run(graph)
+        assert np.array_equal(res.labels, np.arange(graph.n_vertices))
+        serial = SerialPClust(params.with_overrides(
+            aggregate_backend="host")).run(graph)
+        assert np.array_equal(res.labels, serial.labels)
+
+    @pytest.mark.parametrize("devices", [1, 2, 4])
+    def test_components_span_trial_chunk_boundaries(self, devices):
+        # trial_chunk=1 maximizes cross-chunk (and, for a group,
+        # cross-member) partials; labels must not depend on the chunking.
+        pg = planted_family_graph(PlantedFamilyConfig(n_families=6), seed=3)
+        base = ShinglingParams(s1=2, c1=6, s2=2, c2=4)
+        ref = GpClust(base.with_overrides(
+            aggregate_backend="host")).run(pg.graph)
+        got = GpClust(base.with_overrides(
+            aggregate_backend="device", trial_chunk=1,
+            devices=devices)).run(pg.graph)
+        assert np.array_equal(got.labels, ref.labels)
+
+
+class TestHypothesisBipartite:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_device_cc_matches_host_on_random_bipartite(self, data):
+        n_left = data.draw(st.integers(1, 12), label="n_left")
+        n_right = data.draw(st.integers(1, 12), label="n_right")
+        n = n_left + n_right
+        n_edges = data.draw(st.integers(0, 40), label="n_edges")
+        src = np.array(data.draw(st.lists(
+            st.integers(0, n_left - 1),
+            min_size=n_edges, max_size=n_edges)), dtype=np.int64)
+        dst = np.array(data.draw(st.lists(
+            st.integers(n_left, n - 1),
+            min_size=n_edges, max_size=n_edges)), dtype=np.int64)
+        host = union_edges(n, src, dst)
+        uf_labels = _host_unionfind_labels(n, src, dst)
+        for device in _devices():
+            got = union_edges(n, src, dst, device=device)
+            assert np.array_equal(got, host)
+            # Canonicalized device labels match the scalar union-find.
+            _, canon = np.unique(got, return_inverse=True)
+            assert np.array_equal(canon, uf_labels)
+
+
+class TestComponentsFacade:
+    def test_connected_components_device_matches_host(self):
+        graph = CSRGraph.from_edges(
+            [(0, 1), (1, 2), (4, 5), (7, 8), (8, 9), (9, 7)])
+        host = connected_components(graph)
+        for device in _devices():
+            got = connected_components(graph, device=device)
+            assert np.array_equal(got, host)
