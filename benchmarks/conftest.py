@@ -10,6 +10,7 @@ Scale control: set ``REPRO_SCALE=paper`` for the larger workload tier.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -18,9 +19,11 @@ from repro.baselines.gos_kneighbor import gos_kneighbor_clustering
 from repro.core.params import ShinglingParams
 from repro.core.pipeline import GpClust
 from repro.eval.partition import Partition
+from repro.obs.ledger import append_ledger
 from repro.pipeline.workloads import get_scale, make_quality_workload
 
 RESULTS_DIR = Path(__file__).parent / "results"
+LEDGER_DIR = RESULTS_DIR / "ledger"
 
 
 @pytest.fixture(scope="session")
@@ -41,6 +44,12 @@ def report_writer():
 
     so downstream tooling (CI artifact diffing, plots) never has to parse
     the rendered text tables.
+
+    Every row mapping in the payload (``workloads`` or any ``*_rows`` key)
+    is also appended to the performance ledger
+    (``benchmarks/results/ledger/<name>.jsonl``), keyed by a fingerprint
+    of (benchmark, row mapping, scale) and tagged with ``host_cores`` —
+    the cross-run trajectory store behind ``repro obs ledger``.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     scale = get_scale()
@@ -55,6 +64,16 @@ def report_writer():
                 payload.update(data)
             (RESULTS_DIR / f"{name}.json").write_text(
                 json.dumps(payload, indent=2, default=str) + "\n")
+            for key, rows in payload.items():
+                if key != "workloads" and not key.endswith("_rows"):
+                    continue
+                if not (isinstance(rows, dict)
+                        and all(isinstance(r, dict) for r in rows.values())):
+                    continue
+                append_ledger(
+                    LEDGER_DIR, name, rows,
+                    config={"bench": name, "rowset": key, "scale": scale},
+                    host_cores=os.cpu_count())
         print(f"\n{text}\n")
 
     return write

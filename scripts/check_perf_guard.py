@@ -6,7 +6,8 @@ Diffs a freshly-measured benchmark JSON (``workloads`` mapping under
 non-zero when any workload's warm total time regresses by more than the
 tolerance (default 15%).  Warm timings on shared CI runners are noisy,
 which is why the guard is tolerance-based rather than exact; improvements
-never fail.
+never fail.  The comparison machinery is shared with ``compare_bench.py``
+and the performance ledger (:mod:`repro.obs.ledger`).
 
 ``--reference-key`` selects which mapping of the reference file holds the
 guarded rows: ``table1_rows`` (clustering bench vs BENCH_PR2.json),
@@ -15,8 +16,7 @@ guarded rows: ``table1_rows`` (clustering bench vs BENCH_PR2.json),
 BENCH_PR6.json), or ``device_scaling_rows`` (the multi-device scaling
 bench vs BENCH_PR7.json).  ``--metric`` picks which per-row value is
 compared (default ``total_s``).  Metrics are lower-is-better unless the
-spec carries a ``:higher`` suffix (``speedup_vs_1dev:higher``); the
-comparison itself lives in ``compare_bench.py``.
+spec carries a ``:higher`` suffix (``speedup_vs_1dev:higher``).
 
 ``--max-overhead-pct`` switches to observability-overhead mode: the
 measured file is then a ``trace_overhead.json`` written by
@@ -24,17 +24,25 @@ measured file is then a ``trace_overhead.json`` written by
 reference file is read, and the guard fails when enabling tracing costs
 more than the given percentage.
 
+``--bottleneck-row`` switches to bottleneck-class mode: the measured file
+is an attribution report written by ``run_traced_smoke.py`` (the output
+of ``repro obs attribute --json``) and the reference's
+``bottleneck_rows`` mapping names the expected top-ranked cause *class*
+per configuration.  The guard fails when the top cause changes class
+(e.g. alignment -> host-link contention) without the committed baseline
+being updated — a perf PR must own its attribution shift.
+
 Usage::
 
     python scripts/check_perf_guard.py \
         --measured benchmarks/results/table1_runtime.json \
         --reference BENCH_PR2.json [--tolerance 0.15]
     python scripts/check_perf_guard.py \
-        --measured benchmarks/results/homology_runtime.json \
-        --reference BENCH_PR3.json --reference-key homology_rows
-    python scripts/check_perf_guard.py \
         --measured benchmarks/results/trace_overhead.json \
         --max-overhead-pct 2
+    python scripts/check_perf_guard.py \
+        --measured benchmarks/results/attribution_2m.json \
+        --reference BENCH_PR9.json --bottleneck-row traced_2m_dev1
 """
 
 from __future__ import annotations
@@ -44,9 +52,15 @@ import json
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from compare_bench import compare_rows, parse_metric_spec, render_deltas
+from repro.obs.ledger import (  # noqa: E402
+    compare_rows,
+    parse_metric_spec,
+    render_deltas,
+    rows_from,
+    skipped_wall_note,
+)
 
 
 def check(measured: dict, reference: dict, tolerance: float,
@@ -54,15 +68,19 @@ def check(measured: dict, reference: dict, tolerance: float,
           metric: str = "total_s") -> list[str]:
     """Return a list of failure messages (empty == pass).
 
-    A thin wrapper over :func:`compare_bench.compare_rows`: the guarded
-    rows come from ``reference[reference_key]``, the measured rows from
-    ``measured["workloads"]``, and ``metric`` may carry a
+    A thin wrapper over :func:`repro.obs.ledger.compare_rows`: the
+    guarded rows come from ``reference[reference_key]``, the measured
+    rows from ``measured["workloads"]``, and ``metric`` may carry a
     ``:higher``/``:lower`` direction suffix (default lower-is-better).
     """
-    deltas, failures = compare_rows(
-        reference[reference_key], measured["workloads"], tolerance,
-        metrics=[parse_metric_spec(metric)])
+    ref_rows = rows_from(reference, reference_key)
+    got_rows = rows_from(measured, "workloads")
+    deltas, failures = compare_rows(ref_rows, got_rows, tolerance,
+                                    metrics=[parse_metric_spec(metric)])
     print(render_deltas(deltas, tolerance))
+    note = skipped_wall_note(ref_rows, got_rows, deltas)
+    if note:
+        print(note)
     return failures
 
 
@@ -81,6 +99,36 @@ def check_overhead(measured: dict, max_overhead_pct: float) -> list[str]:
     return []
 
 
+def check_bottleneck(measured: dict, reference: dict, row: str,
+                     reference_key: str = "bottleneck_rows") -> list[str]:
+    """Bottleneck-class mode: the top-ranked cause must keep its class.
+
+    ``measured`` is an attribution report (``repro obs attribute
+    --json``); ``reference[reference_key][row]`` holds the committed
+    baseline ``{"cause", "class"}``.  Only the *class* gates — the exact
+    cause slug and magnitudes are informational, wall noise must not
+    flip the guard.
+    """
+    causes = measured.get("causes") or []
+    if not causes:
+        return [f"{row}: attribution report has no ranked causes"]
+    top = causes[0]
+    baseline = rows_from(reference, reference_key).get(row)
+    if baseline is None:
+        return [f"{row}: no committed bottleneck baseline under "
+                f"{reference_key!r} — add it to the reference file"]
+    expected = baseline["class"]
+    print(f"{row}: top bottleneck {top['cause']} (class {top['class']}, "
+          f"{top['seconds']:.4f}s, {top['share']:.1%} of wall) vs "
+          f"baseline class {expected}")
+    if top["class"] != expected:
+        return [
+            f"{row}: top-ranked bottleneck changed class "
+            f"{expected} -> {top['class']} ({top['cause']}); if this PR "
+            f"intends the shift, update the committed baseline"]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--measured",
@@ -90,7 +138,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed reference JSON")
     parser.add_argument("--reference-key", default="table1_rows",
                         help="mapping in the reference file holding the "
-                             "guarded rows (table1_rows, homology_rows)")
+                             "guarded rows (table1_rows, homology_rows, "
+                             "bottleneck_rows in bottleneck mode)")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed fractional total-time regression")
     parser.add_argument("--metric", default="total_s",
@@ -103,11 +152,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="observability-overhead mode: fail when the "
                              "traced run in a trace_overhead.json is more "
                              "than PCT%% slower than the untraced run")
+    parser.add_argument("--bottleneck-row", default=None, metavar="ROW",
+                        help="bottleneck-class mode: the measured file is "
+                             "an attribution report; fail when its top-"
+                             "ranked cause class differs from the "
+                             "reference's bottleneck_rows[ROW]")
     args = parser.parse_args(argv)
 
     measured = json.loads(Path(args.measured).read_text())
     if args.max_overhead_pct is not None:
         failures = check_overhead(measured, args.max_overhead_pct)
+    elif args.bottleneck_row is not None:
+        reference = json.loads(Path(args.reference).read_text())
+        key = ("bottleneck_rows" if args.reference_key == "table1_rows"
+               else args.reference_key)
+        failures = check_bottleneck(measured, reference, args.bottleneck_row,
+                                    reference_key=key)
     else:
         reference = json.loads(Path(args.reference).read_text())
         failures = check(measured, reference, args.tolerance,

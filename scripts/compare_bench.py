@@ -3,10 +3,13 @@
 
 The benchmark harness writes ``benchmarks/results/<name>.json`` documents
 and each PR commits a ``BENCH_PR<N>.json`` reference; this tool is the one
-place that compares them.  It prints a per-row/per-metric delta table and
+CLI that compares them.  It prints a per-row/per-metric delta table and
 exits non-zero when any guarded metric regresses past the tolerance.
-``check_perf_guard.py`` builds its CI checks on :func:`compare_rows`
-instead of ad-hoc key lookups.
+
+The comparison itself — metric directions, machine tags, the cross-machine
+wall-metric skip — lives in :mod:`repro.obs.ledger`, shared with
+``check_perf_guard.py``, the performance ledger, and ``repro obs diff``;
+this module re-exports the names its callers and tests import.
 
 Metric direction: metrics are lower-is-better by default (seconds, waste
 fractions).  Append ``:higher`` to a ``--metric`` spec for higher-is-better
@@ -32,7 +35,8 @@ that measured them.  Tags are never compared as metrics; when the reference
 and measured rows were produced on machines with different ``host_cores``,
 wall-clock metrics are reported with a ``SKIP`` verdict instead of a
 pass/fail — comparing wall seconds across core counts is noise, and the
-modeled metrics still guard the row.
+modeled metrics still guard the row.  Every skip is called out with a
+one-line note so CI logs show *why* the guard passed.
 """
 
 from __future__ import annotations
@@ -42,135 +46,36 @@ import json
 import sys
 from pathlib import Path
 
-#: Valid direction suffixes of a ``--metric name[:direction]`` spec.
-DIRECTIONS = ("lower", "higher")
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-#: Row keys that describe the measuring machine, not the measurement —
-#: never compared as metrics.
-TAG_KEYS = frozenset({"host_cores"})
+from repro.obs.ledger import (  # noqa: E402
+    DIRECTIONS,
+    TAG_KEYS,
+    WALL_METRICS,
+    compare_rows,
+    is_wall_metric,
+    parse_metric_spec,
+    render_deltas,
+    rows_from,
+    skipped_wall_note,
+)
 
-#: Metrics that measure wall-clock time (or wall-clock-derived speedups),
-#: meaningless to compare across machines with different core counts.
-WALL_METRICS = frozenset({"total_s", "cpu_s", "gpu_s", "alignment_s",
-                          "overhead_frac"})
+# Historical private aliases, kept for callers that predate the move of
+# the comparison machinery into repro.obs.ledger.
+_is_wall_metric = is_wall_metric
 
-
-def _is_wall_metric(name: str) -> bool:
-    """Whether ``name`` is wall-clock-derived (vs modeled/counted)."""
-    return (name in WALL_METRICS or name.startswith("wall_")
-            or name.endswith("_wall"))
-
-
-def parse_metric_spec(spec: str) -> tuple[str, str]:
-    """Split ``"name"`` / ``"name:higher"`` into ``(name, direction)``."""
-    name, sep, direction = spec.partition(":")
-    if not sep:
-        return name, "lower"
-    if direction not in DIRECTIONS:
-        raise ValueError(
-            f"bad metric spec {spec!r}: direction must be one of "
-            f"{DIRECTIONS}")
-    return name, direction
-
-
-def _numeric_metrics(row: dict) -> list[str]:
-    return [k for k, v in row.items()
-            if isinstance(v, (int, float)) and not isinstance(v, bool)
-            and k not in TAG_KEYS]
-
-
-def _host_cores_differ(ref: dict, got: dict) -> bool:
-    """True when both rows carry ``host_cores`` and they disagree."""
-    return ("host_cores" in ref and "host_cores" in got
-            and ref["host_cores"] != got["host_cores"])
-
-
-def compare_rows(ref_rows: dict, got_rows: dict, tolerance: float,
-                 metrics: list[tuple[str, str]] | None = None
-                 ) -> tuple[list[dict], list[str]]:
-    """Compare measured rows against reference rows.
-
-    Returns ``(deltas, failures)``: one delta dict per (row, metric)
-    comparison — ``{"row", "metric", "direction", "ref", "got",
-    "delta_frac", "verdict"}`` — and a list of human-readable failure
-    messages (empty == pass).  A reference row or metric missing from the
-    measured side is itself a failure: silently-dropped coverage must not
-    read as a pass.
-
-    When a reference row and its measured counterpart both carry a
-    ``host_cores`` tag and the values differ, wall-clock metrics (see
-    :data:`WALL_METRICS`) get a ``SKIP`` verdict instead of pass/fail —
-    they were measured on different machines.  Modeled and counted metrics
-    still compare normally.
-    """
-    deltas: list[dict] = []
-    failures: list[str] = []
-    for name, ref in sorted(ref_rows.items()):
-        if name not in got_rows:
-            failures.append(f"{name}: missing from measured results")
-            continue
-        got = got_rows[name]
-        skip_wall = _host_cores_differ(ref, got)
-        row_metrics = metrics or [(m, "lower") for m in _numeric_metrics(ref)]
-        for metric, direction in row_metrics:
-            if metric not in ref:
-                continue        # reference does not guard this metric here
-            if metric not in got:
-                failures.append(f"{name}: metric {metric!r} missing from "
-                                f"measured results")
-                continue
-            ref_val = float(ref[metric])
-            got_val = float(got[metric])
-            delta_frac = (got_val / ref_val - 1.0) if ref_val else 0.0
-            if skip_wall and _is_wall_metric(metric):
-                deltas.append({"row": name, "metric": metric,
-                               "direction": direction, "ref": ref_val,
-                               "got": got_val, "delta_frac": delta_frac,
-                               "verdict": "SKIP"})
-                continue
-            if direction == "higher":
-                regressed = got_val < ref_val * (1.0 - tolerance)
-            else:
-                regressed = got_val > ref_val * (1.0 + tolerance)
-            verdict = "REGRESSION" if regressed else "OK"
-            deltas.append({"row": name, "metric": metric,
-                           "direction": direction, "ref": ref_val,
-                           "got": got_val, "delta_frac": delta_frac,
-                           "verdict": verdict})
-            if regressed:
-                failures.append(
-                    f"{name}: {metric} {got_val:.4f} vs reference "
-                    f"{ref_val:.4f} ({delta_frac:+.1%}, "
-                    f"{direction}-is-better, tolerance {tolerance:.0%})")
-    return deltas, failures
-
-
-def render_deltas(deltas: list[dict], tolerance: float) -> str:
-    """The per-row/per-metric delta table as aligned text."""
-    headers = ["row", "metric", "dir", "reference", "measured", "delta",
-               "verdict"]
-    rows = [[d["row"], d["metric"], d["direction"], f"{d['ref']:.4f}",
-             f"{d['got']:.4f}", f"{d['delta_frac']:+.1%}", d["verdict"]]
-            for d in deltas]
-    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
-              for i, h in enumerate(headers)]
-    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)),
-             "  ".join("-" * w for w in widths)]
-    lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths))
-              for row in rows]
-    lines.append(f"(tolerance {tolerance:.0%}; improvements never fail)")
-    return "\n".join(lines)
-
-
-def rows_from(doc: dict, key: str) -> dict:
-    """The named row mapping of a bench document."""
-    if key not in doc:
-        raise KeyError(
-            f"key {key!r} not in document (has: {sorted(doc)})")
-    rows = doc[key]
-    if not isinstance(rows, dict):
-        raise TypeError(f"key {key!r} is not a row mapping")
-    return rows
+__all__ = [
+    "DIRECTIONS",
+    "TAG_KEYS",
+    "WALL_METRICS",
+    "compare_rows",
+    "is_wall_metric",
+    "main",
+    "parse_metric_spec",
+    "render_deltas",
+    "rows_from",
+    "skipped_wall_note",
+]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -200,6 +105,11 @@ def main(argv: list[str] | None = None) -> int:
     deltas, failures = compare_rows(ref_rows, got_rows, args.tolerance,
                                     metrics)
     print(render_deltas(deltas, args.tolerance))
+    note = skipped_wall_note(ref_rows, got_rows, deltas)
+    if note:
+        # Printed pass or fail: a skipped wall guard must be visible in
+        # the CI log either way.
+        print(note)
     if failures:
         # Every failed comparison is listed — a run with five regressions
         # must name all five, not just the first one encountered.
@@ -208,12 +118,7 @@ def main(argv: list[str] | None = None) -> int:
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    skipped = sum(1 for d in deltas if d["verdict"] == "SKIP")
-    if skipped:
-        print(f"bench comparison passed "
-              f"({skipped} wall metric(s) skipped: host_cores differ)")
-    else:
-        print("bench comparison passed")
+    print("bench comparison passed")
     return 0
 
 

@@ -14,6 +14,14 @@ these artifacts under ``benchmarks/results/``:
     stops being near-free.
 ``trace_2m_summary.txt``
     The ``repro obs summary`` rendering of the trace, for humans.
+``attribution_2m.json`` / ``attribution_2m.txt`` / ``critical_path_2m.txt``
+    Bottleneck attribution (machine-readable + rendered) and the
+    critical-path rendering of the traced run — the JSON report is what
+    ``check_perf_guard.py --bottleneck-row`` gates against BENCH_PR9.json.
+``ledger/traced_smoke.jsonl``
+    One performance-ledger entry per invocation (overhead, wall,
+    critical-path seconds), keyed by the run configuration — the
+    cross-run trajectory behind ``repro obs ledger``.
 ``trace_homology_device.json`` / ``trace_homology_device_summary.txt``
     The Chrome Trace export (and rendering) of a homology-graph build run
     with ``--align-backend device``: alignment bins must appear as
@@ -45,18 +53,25 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import os
 import sys
 import time
 from pathlib import Path
 
 from repro.core.pipeline import GpClust
 from repro.obs import (
+    SUMMARY_SCHEMA_VERSION,
+    attribute,
+    critical_path,
     observe,
+    render_attribution,
+    render_critical_path,
     render_summary,
     use_obs,
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.ledger import append_ledger
 from repro.pipeline.workloads import get_scale, make_runtime_workload, workload_params
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
@@ -140,11 +155,48 @@ def main(argv: list[str] | None = None) -> int:
     (out_dir / "trace_2m_summary.txt").write_text(summary_text + "\n")
     print(summary_text)
 
+    # --- trace analytics: critical path + bottleneck attribution --------
+    failures: list[str] = []
+    cp = critical_path(doc)
+    (out_dir / "critical_path_2m.txt").write_text(
+        render_critical_path(cp) + "\n")
+    report = attribute(doc)
+    (out_dir / "attribution_2m.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+    (out_dir / "attribution_2m.txt").write_text(
+        render_attribution(report) + "\n")
+    print(f"critical path: {cp['path_s']:.4f}s of {cp['wall_s']:.4f}s "
+          f"bounded by {cp['bounding_proc']}/{cp['bounding_track']}; "
+          f"top cause: {report['causes'][0]['cause'] if report['causes'] else 'none'}")
+    if cp["bounding_proc"] is None:
+        failures.append("critical path found no bounding proc")
+    if not report["causes"]:
+        failures.append("attribution produced no ranked causes")
+    # The analysis must describe the run it claims to: its wall and
+    # path/idle split reconcile with the tracer's own summary within 5%.
+    summary_wall = ctx.tracer.summary()["wall_s"]
+    if summary_wall > 0:
+        attr_drift = abs(report["wall_s"] - summary_wall) / summary_wall
+        split_drift = abs(cp["path_s"] + cp["idle_s"] - cp["wall_s"]) / (
+            cp["wall_s"] or 1.0)
+        print(f"attribution wall {report['wall_s']:.4f}s vs summary "
+              f"{summary_wall:.4f}s (drift {attr_drift:.2%}); "
+              f"path+idle split drift {split_drift:.2%}")
+        if attr_drift > RECONCILE_TOLERANCE:
+            failures.append(
+                f"attribution wall {report['wall_s']:.4f}s does not "
+                f"reconcile with summary wall {summary_wall:.4f}s "
+                f"(drift {attr_drift:.2%})")
+        if split_drift > RECONCILE_TOLERANCE:
+            failures.append(
+                f"critical-path split path {cp['path_s']:.4f}s + idle "
+                f"{cp['idle_s']:.4f}s does not reconcile with wall "
+                f"{cp['wall_s']:.4f}s")
+
     # --- reconciliation: root span vs reported wall time ----------------
     # Only meaningful on a single device: a DeviceGroup charges wall
     # buckets per member, so concurrent members make the reported bucket
     # total exceed true wall time (busy > wall under concurrency).
-    failures: list[str] = []
     roots = [r for r in records if r.name == "gpclust.run"]
     if not roots:
         failures.append("trace has no gpclust.run root span")
@@ -226,7 +278,7 @@ def main(argv: list[str] | None = None) -> int:
 
     overhead_doc = {
         "name": "trace_overhead",
-        "schema_version": 1,
+        "schema_version": SUMMARY_SCHEMA_VERSION,
         "workload": WORKLOAD,
         "scale": scale,
         "repeats": args.repeats,
@@ -238,6 +290,26 @@ def main(argv: list[str] | None = None) -> int:
     (out_dir / "trace_overhead.json").write_text(
         json.dumps(overhead_doc, indent=2) + "\n")
     print(f"overhead report written to {out_dir / 'trace_overhead.json'}")
+
+    # --- performance ledger ---------------------------------------------
+    row_name = f"2m_dev{args.devices}_agg{args.aggregate_backend}"
+    ledger_row = {
+        "traced_off_s": round(off_s, 6),
+        "traced_on_s": round(on_s, 6),
+        "overhead_pct": round(overhead_pct, 4),
+        "wall_s": round(report["wall_s"], 6),
+        "critical_path_s": round(cp["path_s"], 6),
+        "critical_path_idle_s": round(cp["idle_s"], 6),
+        "n_spans": len(records),
+    }
+    append_ledger(
+        out_dir / "ledger", "traced_smoke", {row_name: ledger_row},
+        config={"workload": WORKLOAD, "scale": scale,
+                "devices": args.devices,
+                "align_backend": args.align_backend,
+                "aggregate_backend": args.aggregate_backend},
+        host_cores=os.cpu_count())
+    print(f"ledger row {row_name} appended under {out_dir / 'ledger'}")
 
     if failures:
         print("\nTRACED SMOKE FAILED:", file=sys.stderr)

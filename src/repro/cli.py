@@ -18,8 +18,13 @@ Subcommands
     (k-mer or suffix-array pair filter + batched Smith-Waterman), gpClust
     clustering, and a per-cluster report.
 ``obs``
-    Observability utilities: ``obs summary trace.json`` reports where a
-    traced run (``cluster``/``pipeline`` with ``--trace``) spent its time.
+    Observability utilities over traces written by ``--trace``:
+    ``obs summary`` (where the time went), ``obs critical-path`` (the
+    span chain bounding the run, with slack), ``obs attribute``
+    (bottleneck attribution: utilization, modeled-vs-wall roofline gaps,
+    ranked loss causes), ``obs diff runA runB`` (what shifted between
+    two traced runs), and ``obs ledger`` (cross-run metric trajectories
+    with EWMA drift detection from ``benchmarks/results/ledger/``).
 
 Examples
 --------
@@ -355,6 +360,65 @@ def cmd_obs_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_obs_report(args: argparse.Namespace, payload: dict,
+                      rendered: str) -> int:
+    """Emit an analysis result as text (default) or JSON (``--json``)."""
+    import json
+
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(rendered)
+    return 0
+
+
+def cmd_obs_critical_path(args: argparse.Namespace) -> int:
+    from repro.obs import critical_path, load_trace, render_critical_path
+
+    cp = critical_path(load_trace(args.trace_file))
+    return _print_obs_report(args, cp, render_critical_path(cp, top_n=args.top))
+
+
+def cmd_obs_attribute(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import attribute, load_trace, render_attribution
+
+    metrics = None
+    if args.metrics is not None:
+        metrics = json.loads(Path(args.metrics).read_text())
+    report = attribute(load_trace(args.trace_file), metrics=metrics)
+    return _print_obs_report(args, report, render_attribution(report))
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_traces, load_trace, render_diff
+
+    diff = diff_traces(load_trace(args.trace_a), load_trace(args.trace_b))
+    return _print_obs_report(args, diff, render_diff(diff, top_n=args.top))
+
+
+def cmd_obs_ledger(args: argparse.Namespace) -> int:
+    from repro.obs import ledger_report, load_ledger, render_ledger_report
+
+    entries = load_ledger(args.dir, bench=args.bench)
+    if not entries:
+        print(f"no ledger entries under {args.dir}"
+              + (f" for bench {args.bench!r}" if args.bench else ""))
+        return 0
+    report = ledger_report(entries, tolerance=args.tolerance)
+    rendered = render_ledger_report(report, tolerance=args.tolerance,
+                                    drift_only=args.drift_only)
+    _print_obs_report(args, {"entries": len(entries), "report": report},
+                      rendered)
+    drifted = sum(1 for r in report if r["verdict"] == "DRIFT")
+    if args.fail_on_drift and drifted:
+        print(f"LEDGER DRIFT: {drifted} series outside the EWMA band",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a Chrome Trace Event JSON of the run "
@@ -456,6 +520,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs_summary.add_argument("--top", type=int, default=15,
                                help="number of span rows to show")
     p_obs_summary.set_defaults(func=cmd_obs_summary)
+
+    p_obs_cp = obs_sub.add_parser(
+        "critical-path",
+        help="the chain of spans that bounds a traced run's wall time")
+    p_obs_cp.add_argument("trace_file", metavar="trace.json",
+                          help="trace written by --trace")
+    p_obs_cp.add_argument("--top", type=int, default=25,
+                          help="number of (merged) path rows to show")
+    p_obs_cp.add_argument("--json", action="store_true",
+                          help="emit the machine-readable path instead of "
+                               "the rendered table")
+    p_obs_cp.set_defaults(func=cmd_obs_critical_path)
+
+    p_obs_attr = obs_sub.add_parser(
+        "attribute",
+        help="bottleneck attribution: utilization, roofline gaps, and a "
+             "ranked list of where the run lost time")
+    p_obs_attr.add_argument("trace_file", metavar="trace.json",
+                            help="trace written by --trace (metrics are "
+                                 "read from its embedded snapshot)")
+    p_obs_attr.add_argument("--metrics", metavar="PATH", default=None,
+                            help="metrics snapshot JSON overriding the "
+                                 "one embedded in the trace")
+    p_obs_attr.add_argument("--json", action="store_true",
+                            help="emit the machine-readable report")
+    p_obs_attr.set_defaults(func=cmd_obs_attribute)
+
+    p_obs_diff = obs_sub.add_parser(
+        "diff", help="per-span and per-process deltas between two traces")
+    p_obs_diff.add_argument("trace_a", metavar="runA.json",
+                            help="baseline trace")
+    p_obs_diff.add_argument("trace_b", metavar="runB.json",
+                            help="comparison trace")
+    p_obs_diff.add_argument("--top", type=int, default=15,
+                            help="number of span-delta rows to show")
+    p_obs_diff.add_argument("--json", action="store_true",
+                            help="emit the machine-readable diff")
+    p_obs_diff.set_defaults(func=cmd_obs_diff)
+
+    p_obs_ledger = obs_sub.add_parser(
+        "ledger",
+        help="cross-run metric trajectories from the performance ledger")
+    p_obs_ledger.add_argument("--dir", default="benchmarks/results/ledger",
+                              help="ledger directory of .jsonl files")
+    p_obs_ledger.add_argument("--bench", default=None,
+                              help="restrict to one benchmark's entries")
+    p_obs_ledger.add_argument("--tolerance", type=float, default=0.15,
+                              help="EWMA drift band (fractional)")
+    p_obs_ledger.add_argument("--drift-only", action="store_true",
+                              help="show only series flagged as drifted")
+    p_obs_ledger.add_argument("--fail-on-drift", action="store_true",
+                              help="exit non-zero when any series drifted")
+    p_obs_ledger.add_argument("--json", action="store_true",
+                              help="emit the machine-readable report")
+    p_obs_ledger.set_defaults(func=cmd_obs_ledger)
 
     return parser
 

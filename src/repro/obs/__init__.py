@@ -21,6 +21,16 @@ See ``docs/OBSERVABILITY.md`` for the API walkthrough and how to read a
 Perfetto trace of a Table-I run.
 """
 
+from repro.obs.analysis import (
+    attribute,
+    critical_path,
+    diff_traces,
+    render_attribution,
+    render_critical_path,
+    render_diff,
+    trace_spans,
+    track_busy_seconds,
+)
 from repro.obs.chrome_trace import (
     load_trace,
     to_chrome_trace,
@@ -44,9 +54,23 @@ from repro.obs.metrics import (
     NullMetrics,
     peak_rss_bytes,
 )
+from repro.obs.ledger import (
+    append_ledger,
+    compare_rows,
+    config_fingerprint,
+    detect_drift,
+    ledger_report,
+    load_ledger,
+    parse_metric_spec,
+    render_deltas,
+    render_ledger_report,
+    rows_from,
+    skipped_wall_note,
+)
 from repro.obs.summary import render_summary, summarize_trace
 from repro.obs.tracer import (
     NULL_TRACER,
+    SUMMARY_SCHEMA_VERSION,
     NullTracer,
     Span,
     SpanRecord,
@@ -67,19 +91,39 @@ __all__ = [
     "NullMetrics",
     "NullTracer",
     "ObsContext",
+    "SUMMARY_SCHEMA_VERSION",
     "Span",
     "SpanRecord",
     "Tracer",
+    "append_ledger",
+    "attribute",
+    "compare_rows",
+    "config_fingerprint",
+    "critical_path",
+    "detect_drift",
+    "diff_traces",
     "get_obs",
+    "ledger_report",
+    "load_ledger",
     "load_trace",
     "observe",
+    "parse_metric_spec",
     "peak_rss_bytes",
+    "render_attribution",
+    "render_critical_path",
+    "render_deltas",
+    "render_diff",
+    "render_ledger_report",
     "render_summary",
+    "rows_from",
     "set_obs",
+    "skipped_wall_note",
     "summarize_trace",
     "timed",
     "to_chrome_trace",
+    "trace_spans",
     "traced",
+    "track_busy_seconds",
     "use_obs",
     "validate_chrome_trace",
     "worker_tracer",

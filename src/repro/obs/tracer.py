@@ -38,6 +38,15 @@ from typing import Callable
 
 from repro.util.timer import clock as _default_clock
 
+#: Schema version of the run-summary payload (:meth:`Tracer.summary`).
+#: Version 2 adds ``busy_s`` (summed span seconds, the quantity the
+#: analysis layer reconciles against) while keeping every version-1 key
+#: — ``wall_s``, ``n_spans``, ``spans`` — as-is, the same aliasing
+#: discipline the unified ``--profile`` document uses.  The single home
+#: for the number: ``run_traced_smoke.py`` and the CLI emitters stamp
+#: their summary-derived documents from here instead of hardcoding it.
+SUMMARY_SCHEMA_VERSION = 2
+
 
 class SpanRecord:
     """One finished span: a closed interval on a (proc, track) coordinate.
@@ -227,12 +236,14 @@ class Tracer:
                 entry["total_s"] += d
                 entry["min_s"] = min(entry["min_s"], d)
                 entry["max_s"] = max(entry["max_s"], d)
+        busy_s = sum(e["total_s"] for e in by_name.values())
         for entry in by_name.values():
             for key in ("total_s", "min_s", "max_s"):
                 entry[key] = round(entry[key], 6)
         return {
-            "schema_version": 1,
+            "schema_version": SUMMARY_SCHEMA_VERSION,
             "wall_s": round(self.wall_s(), 6),
+            "busy_s": round(busy_s, 6),
             "n_spans": sum(e["count"] for e in by_name.values()),
             "spans": {name: by_name[name] for name in sorted(by_name)},
         }
@@ -279,7 +290,8 @@ class NullTracer:
         return 0.0
 
     def summary(self) -> dict:
-        return {"schema_version": 1, "wall_s": 0.0, "n_spans": 0, "spans": {}}
+        return {"schema_version": SUMMARY_SCHEMA_VERSION, "wall_s": 0.0,
+                "busy_s": 0.0, "n_spans": 0, "spans": {}}
 
 
 _EMPTY_RECORDS: list = []

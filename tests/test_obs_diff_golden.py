@@ -1,0 +1,39 @@
+"""Golden-file test: ``repro obs diff`` on two committed mini-traces.
+
+The renderers in :mod:`repro.obs.analysis` are deterministic functions of
+their inputs, so the rendered diff of two committed trace files must be
+byte-identical to the committed golden output.  A legitimate renderer
+change regenerates the golden with::
+
+    PYTHONPATH=src python -c "from repro.cli import main; main(
+        ['obs', 'diff', 'tests/data/mini_trace_a.json',
+         'tests/data/mini_trace_b.json'])" > tests/data/mini_diff_golden.txt
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+DATA = Path(__file__).parent / "data"
+TRACE_A = DATA / "mini_trace_a.json"
+TRACE_B = DATA / "mini_trace_b.json"
+GOLDEN = DATA / "mini_diff_golden.txt"
+
+
+def test_obs_diff_matches_golden(capsys):
+    assert main(["obs", "diff", str(TRACE_A), str(TRACE_B)]) == 0
+    out = capsys.readouterr().out
+    assert out == GOLDEN.read_text()
+
+
+def test_obs_diff_json_mode(capsys):
+    assert main(["obs", "diff", str(TRACE_A), str(TRACE_B), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["wall"]["a_s"] == 1.0
+    assert payload["wall"]["b_s"] == 1.2
+    top = payload["spans"][0]
+    assert top["name"] == "device.shingle_chunk_reduce"
+    assert top["delta_s"] == 0.3
+    rows = {r["name"]: r for r in payload["spans"]}
+    assert rows["device.p2p_copy"]["a_count"] == 0  # new span in B

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.obs import (
     NULL_OBS,
     NULL_TRACER,
+    SUMMARY_SCHEMA_VERSION,
     ObsContext,
     SpanRecord,
     Tracer,
@@ -71,9 +72,12 @@ class TestSpans:
             with tracer.span("inner"):
                 pass
         summary = tracer.summary()
-        assert summary["schema_version"] == 1
+        assert summary["schema_version"] == SUMMARY_SCHEMA_VERSION
         assert summary["n_spans"] == 3
         assert summary["spans"]["inner"]["count"] == 3
+        # v2 adds busy_s while keeping every v1 key.
+        assert summary["busy_s"] > 0.0
+        assert {"wall_s", "n_spans", "spans"} <= summary.keys()
 
     @given(depths=st.lists(st.integers(1, 6), min_size=1, max_size=8))
     @settings(max_examples=50, deadline=None)
@@ -296,3 +300,20 @@ class TestSummaryReport:
         assert agg["rows"][0]["name"] == "busy"
         text = render_summary(doc)
         assert "busy" in text and "wall" in text
+
+    def test_per_process_table_breaks_out_p2p(self):
+        from repro.obs import render_summary, summarize_trace
+
+        records = [
+            SpanRecord("kernel", 0.0, 2.0, "device0", "stream"),
+            SpanRecord("device.p2p_copy", 0.5, 1.0, "device1", "io"),
+            SpanRecord("kernel", 1.0, 2.0, "device1", "stream"),
+        ]
+        doc = to_chrome_trace(records, 0.0)
+        procs = {p["proc"]: p for p in summarize_trace(doc)["procs"]}
+        assert procs["device0"]["p2p_s"] == 0.0
+        assert procs["device1"]["p2p_s"] == 0.5
+        # p2p copies count toward the destination's busy time too.
+        assert procs["device1"]["busy_s"] == 1.5
+        text = render_summary(doc)
+        assert "p2p ms" in text
