@@ -1,0 +1,205 @@
+"""Measured-vs-modeled throughput per kernel class, eager vs graph replay.
+
+The launch-graph work (PR 10) claims its win on dispatch, not arithmetic:
+replay must keep every kernel's element count and modeled seconds while
+cutting the measured wall of the shingle hot path.  This bench pins both
+sides of that claim:
+
+* a steady-shape shingle pass timed eager (``launch_graph=off``) and warm
+  (``launch_graph=on``, second run replaying committed graphs), with
+  per-kernel modeled elements/s from ``device.kernel_stats`` and the
+  measured pass elements/s next to it, and
+* direct micro timings of the three chunk-reduce executors the capture
+  autotuner chooses between — the eager select+recover sequence, the
+  key-space tournament, and the rank-space tournament — on the captured
+  tables themselves.
+
+Rows land in the ledger (``microbench_rows`` / ``executor_rows``) and in
+``benchmarks/results/kernel_microbench.json``; the committed snapshot is
+``BENCH_PR10.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import device_exec
+from repro.core.device_exec import device_shingle_pass
+from repro.core.execplan import ExecutionPlan
+from repro.core.params import ShinglingParams
+from repro.device import launchgraph
+from repro.device.device import SimulatedDevice
+from repro.device.kernels import (
+    fused_hash,
+    recover_top_ids,
+    segmented_select_top_s,
+)
+from repro.device.launchgraph import GRAPH_CACHE, build_tournament_plan
+from repro.device.memory import ScratchPool
+from repro.util.primes import DEFAULT_PRIME
+
+TRIAL_CHUNK = 8
+C = 32
+S = 2
+
+
+def _workload(scale):
+    rng = np.random.default_rng(3)
+    n_seg = 3_000 if scale == "small" else 30_000
+    n_values = n_seg
+    lengths = rng.integers(S, 41, n_seg)
+    indptr = np.zeros(n_seg + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    elements = np.concatenate([
+        rng.choice(n_values, size=length, replace=False)
+        for length in lengths
+    ]).astype(np.int64)
+    return indptr, elements, n_values
+
+
+def _timed_pass(indptr, elements, config, mode):
+    """Run the pass twice on one device; wall of the second (warm) run."""
+    device = SimulatedDevice()
+    plan = ExecutionPlan(launch_graph=mode)
+    run = lambda: device_shingle_pass(  # noqa: E731
+        indptr, elements, config, device, kernel="fused",
+        trial_chunk=TRIAL_CHUNK, plan=plan)
+    result = run()
+    before = device.launch_graph_stats
+    t0 = time.perf_counter()
+    warm = run()
+    wall = time.perf_counter() - t0
+    after = device.launch_graph_stats
+    assert warm == result
+    warm_lg = {k: after[k] - before[k] for k in ("hits", "misses")}
+    total = warm_lg["hits"] + warm_lg["misses"]
+    warm_lg["hit_rate"] = warm_lg["hits"] / total if total else 0.0
+    return device, wall, result, warm_lg
+
+
+def test_kernel_class_eps_eager_vs_replay(scale, report_writer):
+    indptr, elements, n_values = _workload(scale)
+    config = ShinglingParams(s1=S, c1=C, s2=S, c2=6,
+                             trial_chunk=TRIAL_CHUNK).pass_config(1)
+
+    rows = {}
+    per_kernel = {}
+    results = {}
+    for mode in ("off", "on"):
+        GRAPH_CACHE.clear()
+        device_exec.clear_pass_plan_cache()
+        device, wall, result, warm_lg = _timed_pass(indptr, elements,
+                                                    config, mode)
+        results[mode] = result
+        stats = device.kernel_stats
+        total_elements = sum(v["elements"] for v in stats.values())
+        modeled_total = sum(v["modeled_s"] for v in stats.values())
+        rows[f"shingle_pass_lg{mode}"] = {
+            "wall_s": round(wall, 4),
+            "modeled_s": round(modeled_total, 4),
+            "measured_eps": round(total_elements / wall),
+            "modeled_eps": round(total_elements / modeled_total),
+            "graph_hit_rate": warm_lg["hit_rate"],
+            "launches": sum(v["launches"] for v in stats.values()),
+        }
+        per_kernel[mode] = {
+            name: {"elements": v["elements"],
+                   "modeled_s": round(v["modeled_s"], 6),
+                   "modeled_eps": round(v["elements"] / v["modeled_s"])
+                   if v["modeled_s"] else None}
+            for name, v in sorted(stats.items())
+        }
+
+    assert results["on"] == results["off"]
+    # Replay must not change the modeled work, only the dispatch wall.
+    assert per_kernel["on"].keys() == per_kernel["off"].keys()
+    for name, row in per_kernel["off"].items():
+        assert per_kernel["on"][name]["elements"] == row["elements"]
+    assert rows["shingle_pass_lgon"]["graph_hit_rate"] > 0.9
+
+    lines = ["kernel class microbench (warm pass, eager vs replay)", ""]
+    header = f"{'row':<24}{'wall_s':>10}{'modeled_s':>11}" \
+             f"{'meas eps':>14}{'hit rate':>10}"
+    lines += [header, "-" * len(header)]
+    for name, r in rows.items():
+        lines.append(f"{name:<24}{r['wall_s']:>10.4f}{r['modeled_s']:>11.4f}"
+                     f"{r['measured_eps']:>14,}{r['graph_hit_rate']:>10.3f}")
+    lines += ["", "per-kernel modeled eps (identical across modes):"]
+    for name, r in per_kernel["off"].items():
+        eps = f"{r['modeled_eps']:,}" if r["modeled_eps"] else "-"
+        lines.append(f"  {name:<28}{r['elements']:>14,}{eps:>16}")
+    report_writer("kernel_microbench", "\n".join(lines),
+                  {"microbench_rows": rows,
+                   "per_kernel_modeled": per_kernel["off"]})
+
+
+def test_chunk_reduce_executors(scale, report_writer):
+    """Time the three capture-autotune candidates on one captured shape."""
+    indptr, elements, n_values = _workload(scale)
+    plan = build_tournament_plan(elements, indptr, S, n_values)
+    assert plan is not None
+
+    rng = np.random.default_rng(5)
+    t = TRIAL_CHUNK
+    a = rng.integers(1, DEFAULT_PRIME, t).astype(np.uint64)
+    b = rng.integers(0, DEFAULT_PRIME, t).astype(np.uint64)
+    pool = ScratchPool()
+    n_seg = indptr.size - 1
+    nnz = elements.size
+
+    def eager():
+        # Mirror the device's fused chunk-reduce front end exactly:
+        # fused 32-bit hash, segmented select on keys, affine inversion.
+        keys = pool.take((t, nnz), np.uint32)
+        fused_hash(elements, a, b, DEFAULT_PRIME, out=keys, scratch=pool,
+                   n_values=n_values)
+        top32 = pool.take((t, n_seg, S), np.uint32)
+        segmented_select_top_s(keys, indptr, S, scratch=pool, out=top32,
+                               consume=True)
+        ids = np.empty((t, n_seg, S), dtype=np.uint64)
+        recover_top_ids(top32, a, b, DEFAULT_PRIME, out_ids=ids,
+                        scratch=pool, has_sentinels=False)
+        pool.give(keys)
+        pool.give(top32)
+        return ids
+
+    def key_tournament():
+        out = np.empty((t, n_seg, S), dtype=np.uint32)
+        launchgraph.run_tournament(plan, pool, a, b, DEFAULT_PRIME, S,
+                                   out32=out)
+        return out
+
+    def rank_tournament():
+        out = np.empty((t, n_seg, S), dtype=np.uint64)
+        launchgraph.run_tournament_ids(plan, pool, a, b, DEFAULT_PRIME, S,
+                                       out_ids=out)
+        return out
+
+    reps = 3 if scale == "small" else 5
+    rows = {}
+    outputs = {}
+    for name, fn in (("eager_select_recover", eager),
+                     ("key_tournament", key_tournament),
+                     ("rank_tournament", rank_tournament)):
+        fn()  # warm scratch pool and caches
+        best = min(
+            (lambda t0=time.perf_counter(), out=fn():
+             (time.perf_counter() - t0, out))()
+            for _ in range(reps)
+        )
+        outputs[name] = best[1]
+        rows[name] = {"best_s": round(best[0], 5),
+                      "eps": round(nnz * t / best[0])}
+
+    # Rank-space output is ids; verify against the eager ids directly.
+    assert np.array_equal(outputs["rank_tournament"],
+                          outputs["eager_select_recover"][:, plan.perm, :])
+
+    lines = ["chunk-reduce executor timings (capture autotune candidates)",
+             ""]
+    for name, r in rows.items():
+        lines.append(f"  {name:<24}{r['best_s']:>10.5f}s{r['eps']:>16,} eps")
+    report_writer("kernel_executors", "\n".join(lines),
+                  {"executor_rows": rows})

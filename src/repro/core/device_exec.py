@@ -35,7 +35,9 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -45,6 +47,7 @@ from repro.core.execplan import (EXEC_MULTIDEVICE, EXEC_PREFETCH, EXEC_SYNC,
                                  ExecutionPlan, trial_chunks)
 from repro.core.params import AGG_AUTO, AGG_HOST, KERNEL_FUSED, PassConfig
 from repro.core.passresult import PassResult
+from repro.device import launchgraph
 from repro.device.batching import max_batch_elements, plan_batches
 from repro.device.device import SimulatedDevice
 from repro.device.group import DeviceGroup, least_loaded_assignment
@@ -53,6 +56,65 @@ from repro.device.kernels import (SENTINEL, reduce_keys_fit,
 from repro.device.memory import ScratchPool
 from repro.graph.bipartite import BipartiteCSR
 from repro.util.timer import BUCKET_CPU
+
+
+@dataclass
+class _PassPlan:
+    """Cached host-side shape planning for one (input, geometry) pair.
+
+    Everything the preamble of :func:`device_shingle_pass` derives from the
+    CSR input and the pass geometry — compaction, batch plan, trial chunks,
+    and (single-batch case) the per-element segment-id table.  With launch
+    graphs enabled the driver keys this by content tokens of the input
+    arrays, so steady-state passes skip the whole O(nnz) replanning; all
+    arrays are treated as read-only downstream.
+    """
+
+    n_seg: int
+    valid_ids: np.ndarray
+    lengths: np.ndarray
+    elements: np.ndarray
+    compact_indptr: np.ndarray
+    n_values: int
+    batch_plan: object
+    chunks: list[tuple[int, int]]
+    seg_ids_table: np.ndarray | None
+
+
+_PASS_PLAN_CACHE: "OrderedDict[tuple, _PassPlan]" = OrderedDict()
+_PASS_PLAN_LOCK = threading.Lock()
+_PASS_PLAN_MAX = 8
+_PASS_PLAN_STATS = {"hits": 0, "misses": 0}
+
+
+def _pass_plan_lookup(key: tuple) -> _PassPlan | None:
+    with _PASS_PLAN_LOCK:
+        plan = _PASS_PLAN_CACHE.get(key)
+        if plan is None:
+            _PASS_PLAN_STATS["misses"] += 1
+        else:
+            _PASS_PLAN_STATS["hits"] += 1
+            _PASS_PLAN_CACHE.move_to_end(key)
+        return plan
+
+
+def _pass_plan_store(key: tuple, plan: _PassPlan) -> None:
+    with _PASS_PLAN_LOCK:
+        _PASS_PLAN_CACHE[key] = plan
+        while len(_PASS_PLAN_CACHE) > _PASS_PLAN_MAX:
+            _PASS_PLAN_CACHE.popitem(last=False)
+
+
+def pass_plan_cache_stats() -> dict:
+    """Hit/miss counters of the driver's pass-plan cache (for tests/bench)."""
+    with _PASS_PLAN_LOCK:
+        return {"entries": len(_PASS_PLAN_CACHE), **_PASS_PLAN_STATS}
+
+
+def clear_pass_plan_cache() -> None:
+    with _PASS_PLAN_LOCK:
+        _PASS_PLAN_CACHE.clear()
+        _PASS_PLAN_STATS.update(hits=0, misses=0)
 
 
 def device_shingle_pass(
@@ -103,6 +165,7 @@ def device_shingle_pass(
         plan = ExecutionPlan(EXEC_PREFETCH if prefetch else EXEC_SYNC)
     indptr = np.asarray(indptr, dtype=np.int64)
     elements = np.asarray(elements, dtype=np.int64)
+    device.configure_launch_graph(plan.launch_graph)
     breakdown = device.breakdown
     s, c = config.s, config.c
     t_start = time.perf_counter()
@@ -112,29 +175,51 @@ def device_shingle_pass(
             max_elements = max_batch_elements(
                 device.spec.memory_capacity_bytes, trial_chunk, s)
         max_elements = max(max_elements // plan.resident_factor, 1)
-        all_lengths = np.diff(indptr)
-        n_seg = all_lengths.size
-        # CPU-side compaction: segments shorter than s generate no shingles
-        # (Section III-B: shingles exist only for "any vertex ... that has
-        # at least s links"), so they never ship to the device.  The serial
-        # reference skips them the same way.
-        valid = all_lengths >= s
-        valid_ids = np.flatnonzero(valid)
-        lengths = all_lengths[valid_ids]
-        elements = elements[np.repeat(valid, all_lengths)]
-        compact_indptr = np.zeros(valid_ids.size + 1, dtype=np.int64)
-        np.cumsum(lengths, out=compact_indptr[1:])
-        # Exclusive element-id bound; sizes the fused kernel's hash table
-        # and the on-device reduction's packed keys.
-        n_values = int(elements.max()) + 1 if elements.size else 1
+        pp = None
+        cache_key = None
+        if plan.launch_graph != launchgraph.LG_OFF:
+            cache_key = (launchgraph.content_token(indptr),
+                         launchgraph.content_token(elements),
+                         s, c, trial_chunk, max_elements)
+            pp = _pass_plan_lookup(cache_key)
+        if pp is None:
+            all_lengths = np.diff(indptr)
+            n_seg = all_lengths.size
+            # CPU-side compaction: segments shorter than s generate no
+            # shingles (Section III-B: shingles exist only for "any vertex
+            # ... that has at least s links"), so they never ship to the
+            # device.  The serial reference skips them the same way.
+            valid = all_lengths >= s
+            valid_ids = np.flatnonzero(valid)
+            lengths = all_lengths[valid_ids]
+            elements = elements[np.repeat(valid, all_lengths)]
+            compact_indptr = np.zeros(valid_ids.size + 1, dtype=np.int64)
+            np.cumsum(lengths, out=compact_indptr[1:])
+            # Exclusive element-id bound; sizes the fused kernel's hash
+            # table and the on-device reduction's packed keys.
+            n_values = int(elements.max()) + 1 if elements.size else 1
 
-        batch_plan = plan_batches(compact_indptr, max_elements)
-        chunks = trial_chunks(c, trial_chunk)
+            batch_plan = plan_batches(compact_indptr, max_elements)
+            chunks = trial_chunks(c, trial_chunk)
+            pp = _PassPlan(
+                n_seg=n_seg, valid_ids=valid_ids, lengths=lengths,
+                elements=elements, compact_indptr=compact_indptr,
+                n_values=n_values, batch_plan=batch_plan, chunks=chunks,
+                seg_ids_table=(
+                    segment_element_ids(batch_plan.batches[0].local_indptr)
+                    if batch_plan.n_batches == 1 else None))
+            if cache_key is not None:
+                _pass_plan_store(cache_key, pp)
+        else:
+            n_seg, valid_ids, lengths = pp.n_seg, pp.valid_ids, pp.lengths
+            elements, n_values = pp.elements, pp.n_values
+            batch_plan, chunks = pp.batch_plan, pp.chunks
 
     if batch_plan.n_batches == 1:
         result = _single_batch_streaming(
             device, elements, batch_plan.batches[0], chunks, config, kernel,
-            plan, lengths, valid_ids, n_seg, n_values)
+            plan, lengths, valid_ids, n_seg, n_values,
+            seg_ids_table=pp.seg_ids_table)
     else:
         result = _multi_batch_accumulate(
             device, elements, batch_plan, chunks, config, kernel, plan,
@@ -230,6 +315,7 @@ def _single_batch_streaming(
     valid_ids: np.ndarray,
     n_seg: int,
     n_values: int,
+    seg_ids_table: np.ndarray | None = None,
 ) -> PassResult:
     """The streaming hot path: one resident batch, per-chunk aggregation.
 
@@ -271,7 +357,8 @@ def _single_batch_streaming(
     use_dev_agg = (use_reduce and agg_backend != AGG_HOST and resident_fits)
 
     with breakdown.timing(BUCKET_CPU):
-        seg_ids_table = segment_element_ids(batch.local_indptr)
+        if seg_ids_table is None:
+            seg_ids_table = segment_element_ids(batch.local_indptr)
         aggregator = StreamingAggregator(
             s, n_seg, device=device if use_dev_agg else None)
         host_pool = ScratchPool()  # reused download staging across chunks

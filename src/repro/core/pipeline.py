@@ -151,6 +151,7 @@ class GpClust:
                     tracer.span("phase3.report"):
                 output = one_shingle_labels(pass1, graph.n_vertices,
                                             backend=params.union_backend)
+            device.sync_metrics()
             self._record_run(tracer, t_start, graph)
             return _make_result(graph.n_vertices, params, "device", output,
                                 breakdown, pass1.n_shingles, 0)
@@ -188,6 +189,10 @@ class GpClust:
                     backend=params.union_backend,
                     include_generators=params.include_generators)
 
+        # Flush gauge-backed device accounting (transfer bytes, scratch
+        # pool, launch-graph hit rate) so a traced run's embedded metrics
+        # snapshot carries the whole device picture.
+        device.sync_metrics()
         self._record_run(tracer, t_start, graph)
         return _make_result(graph.n_vertices, params, "device", output,
                             breakdown, pass1.n_shingles, pass2.n_shingles)

@@ -255,7 +255,12 @@ def recover_top_ids(top_keys: np.ndarray, a: np.ndarray, b: np.ndarray,
     np.copyto(out_ids, top_keys, casting="unsafe")
     with np.errstate(over="ignore"):
         np.add(out_ids, b_neg, out=out_ids)
-        np.remainder(out_ids, p64, out=out_ids)
+        # (h + b_neg) * a_inv is congruent mod P to the two-remainder
+        # sequence; when the unreduced product provably fits 64 bits
+        # (including sentinel keys up to 2**32-1, whose garbage product is
+        # masked over below) one remainder pass over the block suffices.
+        if (0xFFFFFFFF + prime) * (prime - 1) >= 1 << 64:
+            np.remainder(out_ids, p64, out=out_ids)
         np.multiply(out_ids, a_inv, out=out_ids)
         np.remainder(out_ids, p64, out=out_ids)
     if has_sentinels:
@@ -475,6 +480,8 @@ def reduce_keys_fit(n_trials: int, n_seg: int, s: int, n_values: int) -> bool:
 
 def chunk_reduce(top_ids: np.ndarray, salts: np.ndarray, gen_ids: np.ndarray,
                  n_values: int, scratch: ScratchPool | None = None,
+                 col_ids: np.ndarray | None = None,
+                 col_to_row: np.ndarray | None = None,
                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """On-device sort-dedup of one trial chunk's shingle occurrences.
 
@@ -503,6 +510,15 @@ def chunk_reduce(top_ids: np.ndarray, salts: np.ndarray, gen_ids: np.ndarray,
         (the driver's ``valid_ids`` table, device-resident).
     n_values:
         Exclusive upper bound on member ids (the tuple-key base).
+    col_ids, col_to_row:
+        Launch-graph replay support for *column-permuted* ``top_ids``
+        blocks: ``col_ids`` (``(n,)`` uint64) supplies the ORIGINAL column
+        id of each permuted position for the packed key (instead of
+        ``arange(n)``), and ``col_to_row`` (``(n,)`` int64) maps an original
+        column back to its permuted row for the member gather.  Because the
+        key then carries original ids, the global sort canonicalizes order
+        and every output — including collision-merge tiebreaks, which use
+        original flat positions — is bit-identical to the unpermuted call.
 
     Returns
     -------
@@ -533,7 +549,9 @@ def chunk_reduce(top_ids: np.ndarray, salts: np.ndarray, gen_ids: np.ndarray,
         np.add(key, (np.arange(t, dtype=np.uint64) * m_pow_s).reshape(t, 1),
                out=key)
         np.multiply(key, n64, out=key)
-        np.add(key, np.arange(n, dtype=np.uint64), out=key)
+        np.add(key,
+               np.arange(n, dtype=np.uint64) if col_ids is None else col_ids,
+               out=key)
     skey = key.reshape(total)
     skey.sort(kind="quicksort")
 
@@ -555,13 +573,16 @@ def chunk_reduce(top_ids: np.ndarray, salts: np.ndarray, gen_ids: np.ndarray,
     col = (start_keys % n64).astype(np.int64)
     trial = (gkey[run_start] // m_pow_s).astype(np.int64)
     flatpos = trial * n + col
-    members = top_ids.reshape(total, s)[flatpos]
+    gather_pos = flatpos if col_to_row is None else trial * n + col_to_row[col]
+    members = top_ids.reshape(total, s)[gather_pos]
     fps = fold_fingerprint_array(members, salts[trial])
 
     # Column -> generator id for every occurrence, still in key order (runs
-    # contiguous, columns ascending within each run).
+    # contiguous, columns ascending within each run).  ``take`` wants intp
+    # indices; one explicit cast beats the fancy-index path's internal one.
     np.remainder(skey, n64, out=gkey)
-    gens_all = np.asarray(gen_ids, dtype=np.uint32)[gkey]
+    gens_all = np.take(np.asarray(gen_ids, dtype=np.uint32),
+                       gkey.astype(np.int64))
 
     order = np.argsort(fps, kind="quicksort")
     fps_sorted = fps[order]
@@ -575,8 +596,10 @@ def chunk_reduce(top_ids: np.ndarray, salts: np.ndarray, gen_ids: np.ndarray,
     np.add(shift, counts_o, out=shift)
     positions = np.repeat(shift, counts_o)
     positions += np.arange(total, dtype=np.int64)
-    gens = gens_all[positions]
-    members_o = members[order].astype(np.uint32)
+    gens = np.take(gens_all, positions)
+    # Narrow before the row gather: ids fit uint32, so permuting the
+    # narrowed rows moves half the bytes of permute-then-cast.
+    members_o = members.astype(np.uint32)[order]
     _give(scratch, key, gkey_buf)
 
     if k > 1 and np.any(fps_sorted[1:] == fps_sorted[:-1]):

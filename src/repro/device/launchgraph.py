@@ -1,0 +1,483 @@
+"""Captured launch-graph replay for the shingle hot path.
+
+The fused shingle pipeline launches the same kernel DAG for every trial
+chunk of a pass: identical geometry, identical scratch bindings, identical
+launch arguments except for the per-chunk hash coefficients.  Measured wall
+time nevertheless dwarfs the modeled kernel seconds (the PR 9 attribution's
+``roofline_gap:shingle``) because every chunk re-derives that DAG from
+scratch — Python dispatch, shape planning, per-launch accounting.
+
+This module is the CUDA-Graphs-style answer: *capture* the DAG once per
+steady-state shape class into a :class:`LaunchGraph`, then *replay* it for
+every later chunk whose :func:`chunk_signature` matches — pre-resolved
+bindings, pre-bound launch constants, one batched metrics/tracer update per
+replay, and no per-launch replanning.
+
+Capture modes (the ``--launch-graph`` knob):
+
+``off``
+    Every chunk launches eagerly; nothing is recorded.
+``on``
+    The first chunk of each signature captures (it still executes eagerly
+    and its output seeds the capture-time verification); all later matching
+    chunks replay.
+``auto``
+    The first matching chunk runs eagerly and only *notes* the signature;
+    capture happens on the second occurrence — one-off shapes (ragged final
+    chunks of a one-pass run) never pay capture cost.
+
+The cache is **process-wide** (`GRAPH_CACHE`): signatures embed content
+tokens of the device-resident inputs, so a later pipeline run over the same
+batch replays immediately instead of re-capturing.  Devices keep their own
+hit/miss counters (the ``graph_hit_rate`` gauge); a
+:class:`~repro.device.group.DeviceGroup`'s members replay independently
+against the shared logical graphs.
+
+Capture-time instantiation is where the replay speedup is *earned*, exactly
+as a CUDA graph instantiation optimizes its node sequence:
+
+* the fused-hash table, top-``s`` selection, and id recovery collapse into a
+  length-binned **tournament selection** over capture-built gather tables
+  (:func:`build_tournament_plan` / :func:`run_tournament`) — valid because
+  per-segment keys are provably distinct (checked at capture), verified
+  bit-identical against the capturing chunk's eager output, and auto-tuned:
+  capture times the key-space tournament, its **rank-space** twin
+  (:func:`run_tournament_ids`, which runs the chain on narrow per-trial
+  hash ranks and skips the affine id recovery entirely), and the eager
+  kernel sequence, committing whichever is fastest on this host;
+* the reduction replays through :func:`~repro.device.kernels.chunk_reduce`
+  with capture-constant column tables (``col_ids``/``col_to_row``), so the
+  bin permutation needs no inverse scatter — the packed-key sort
+  canonicalizes order and every output stays bit-identical;
+* launch latency is charged **once per replayed graph** instead of once per
+  node (see ``timingmodels.KernelCostModel``), the rule the PR 10 latency
+  audit documents.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.device import kernels
+
+#: Valid values of the ``launch_graph`` knob.
+LG_AUTO = "auto"
+LG_ON = "on"
+LG_OFF = "off"
+LAUNCH_GRAPH_MODES = (LG_AUTO, LG_ON, LG_OFF)
+
+#: Resolve outcomes.
+ACTION_EAGER = "eager"
+ACTION_CAPTURE = "capture"
+ACTION_REPLAY = "replay"
+
+#: Bound on cached logical graphs (each may hold multi-MB gather tables).
+_MAX_GRAPHS = 32
+#: Bound on memoized content tokens.
+_MAX_TOKENS = 256
+
+
+# --------------------------------------------------------------------- #
+# Content tokens and signatures
+# --------------------------------------------------------------------- #
+
+_token_memo: dict[int, tuple] = {}
+_token_alias: dict[int, tuple] = {}
+_token_lock = threading.Lock()
+
+
+def adopt_token(copy: np.ndarray, source: np.ndarray) -> None:
+    """Declare ``copy`` byte-identical to ``source`` for token purposes.
+
+    The device upload path calls this for every host->device copy: the
+    device-resident array then inherits the host array's content token
+    lazily instead of re-hashing the same bytes, halving per-run hashing
+    when the host inputs are long-lived (their tokens are memoized once).
+    The alias is identity-guarded on both ends, so neither a recycled
+    ``id()`` nor a collected source can mis-token anything — a dead source
+    simply falls back to hashing the copy.
+    """
+    with _token_lock:
+        if len(_token_alias) >= _MAX_TOKENS:
+            _token_alias.clear()
+        _token_alias[id(copy)] = (weakref.ref(copy), weakref.ref(source))
+
+
+def content_token(array: np.ndarray) -> bytes:
+    """A 16-byte digest of an array's dtype, shape, and contents.
+
+    Memoized by object identity (guarded with a weakref so a recycled
+    ``id()`` can never alias a dead array), because the same device-resident
+    batch buffer is signatured once per trial chunk.
+    """
+    array = np.ascontiguousarray(array)
+    key = id(array)
+    with _token_lock:
+        hit = _token_memo.get(key)
+        if hit is not None and hit[0]() is array:
+            return hit[1]
+        alias = _token_alias.get(key)
+    if alias is not None and alias[0]() is array:
+        source = alias[1]()
+        if source is not None:
+            token = content_token(source)
+            with _token_lock:
+                if len(_token_memo) >= _MAX_TOKENS:
+                    _token_memo.clear()
+                _token_memo[key] = (weakref.ref(array), token)
+            return token
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str((array.dtype.str, array.shape)).encode())
+    h.update(array.tobytes())
+    token = h.digest()
+    try:
+        ref = weakref.ref(array)
+    except TypeError:  # pragma: no cover - ndarray supports weakrefs
+        return token
+    with _token_lock:
+        if len(_token_memo) >= _MAX_TOKENS:
+            _token_memo.clear()
+        _token_memo[key] = (ref, token)
+    return token
+
+
+def chunk_signature(kind: str, *, kernel: str, t: int, s: int, prime: int,
+                    n_values: int | None, resident: bool,
+                    elements: np.ndarray, indptr: np.ndarray,
+                    gen_ids: np.ndarray | None = None) -> tuple:
+    """The shape-class key of one trial chunk launch.
+
+    Two chunk calls share a signature exactly when the captured DAG of one
+    is valid for the other: same kind of chunk, same kernel, same trial
+    count (ragged tails get their own signature), same hash modulus and id
+    range, and byte-identical device-resident inputs (content tokens, not
+    object identity, so a re-uploaded batch in a later run still matches).
+    The per-chunk ``a``/``b``/``salts`` coefficients are deliberately *not*
+    part of the signature — they are the replay's launch arguments.
+    """
+    return (kind, kernel, int(t), int(s), int(prime),
+            None if n_values is None else int(n_values), bool(resident),
+            content_token(elements), content_token(indptr),
+            None if gen_ids is None else content_token(gen_ids))
+
+
+# --------------------------------------------------------------------- #
+# Graph structures
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One captured kernel launch: accounting identity + modeled cost.
+
+    ``modeled_s`` is precomputed at capture (the graph's geometry is fixed,
+    so each node's cost-model seconds are launch constants): the first node
+    carries the graph's single ``launch_latency_s`` charge, all others are
+    pure rate terms.
+    """
+
+    name: str
+    elements: int
+    modeled_s: float
+
+
+@dataclass
+class TournamentPlan:
+    """Capture-built constants for the binned tournament selection.
+
+    ``bins`` holds ``(pos0, idx)`` entries: ``idx`` is an ``(L, m)`` gather
+    table whose row ``j`` maps bin columns to element values (pad slots
+    point at the sentinel column ``n_values`` of the extended hash table);
+    the bin's segments occupy permuted columns ``pos0:pos0+m``.
+    ``perm_cols`` / ``col_to_row`` let :func:`kernels.chunk_reduce` consume
+    the permuted block directly — packed keys carry original column ids, so
+    its global sort restores eager order without an inverse scatter.
+    """
+
+    n_seg: int
+    n_values: int
+    iota: np.ndarray                       # (n_values+1,) uint64
+    bins: list = field(default_factory=list)
+    perm: np.ndarray | None = None         # (n_seg,) int64, permuted -> original
+    perm_cols: np.ndarray | None = None    # (n_seg,) uint64 original column ids
+    col_to_row: np.ndarray | None = None   # (n_seg,) int64, original -> permuted
+
+
+@dataclass
+class LaunchGraph:
+    """One captured kernel DAG for a chunk shape class."""
+
+    signature: tuple
+    kind: str                              # "reduce" | "chunk"
+    kernel: str                            # launch kernel name ("fused", ...)
+    t: int
+    s: int
+    prime: int
+    n_values: int | None
+    n_seg: int
+    nnz: int
+    nodes: tuple                           # tuple[GraphNode, ...]
+    modeled_s: float                       # sum of node modeled seconds
+    executor: str = "kernels"     # "rank_tournament" | "tournament" | "kernels"
+    plan: TournamentPlan | None = None
+    replays: int = 0
+
+    def node_summary(self) -> str:
+        """Compact per-node breakdown for the replay span attrs."""
+        return ",".join(f"{n.name}:{n.elements}:{n.modeled_s:.3e}"
+                        for n in self.nodes)
+
+
+class GraphCache:
+    """Process-wide registry of captured launch graphs.
+
+    ``resolve`` is the single entry point the device calls per chunk; it
+    implements the ``on``/``auto`` occurrence state machine and returns the
+    action plus (for replays) the committed graph.  Capture is serialized
+    per signature: while one stream captures, concurrent matching chunks
+    launch eagerly rather than blocking.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, dict] = {}
+
+    def resolve(self, signature: tuple, mode: str) -> tuple[str, LaunchGraph | None]:
+        if mode == LG_OFF:
+            return ACTION_EAGER, None
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                if len(self._entries) >= _MAX_GRAPHS:
+                    # Evict the stalest shape class (insertion order).
+                    self._entries.pop(next(iter(self._entries)))
+                entry = {"seen": 0, "graph": None, "capturing": False}
+                self._entries[signature] = entry
+            entry["seen"] += 1
+            graph = entry["graph"]
+            if graph is not None:
+                graph.replays += 1
+                return ACTION_REPLAY, graph
+            if entry["capturing"]:
+                return ACTION_EAGER, None
+            threshold = 1 if mode == LG_ON else 2
+            if entry["seen"] >= threshold:
+                entry["capturing"] = True
+                return ACTION_CAPTURE, None
+            return ACTION_EAGER, None
+
+    def commit(self, graph: LaunchGraph) -> None:
+        with self._lock:
+            entry = self._entries.get(graph.signature)
+            if entry is not None:
+                entry["graph"] = graph
+                entry["capturing"] = False
+
+    def abort_capture(self, signature: tuple) -> None:
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is not None:
+                entry["capturing"] = False
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "captured": sum(1 for e in self._entries.values()
+                                    if e["graph"] is not None)}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+        with _token_lock:
+            _token_memo.clear()
+            _token_alias.clear()
+
+
+#: The process-wide cache: logical graphs survive across pipeline runs, so
+#: a warm process replays from the very first chunk of a repeat run.
+GRAPH_CACHE = GraphCache()
+
+
+# --------------------------------------------------------------------- #
+# Capture-time planning
+# --------------------------------------------------------------------- #
+
+
+def _ceil_pow2(lengths: np.ndarray) -> np.ndarray:
+    """Elementwise ``2**ceil(log2(x))``, int-exact (bit length of ``x-1``)."""
+    out = np.ones(lengths.size, dtype=np.int64)
+    rem = np.asarray(lengths, dtype=np.int64) - 1
+    while np.any(rem > 0):
+        np.left_shift(out, 1, out=out, where=rem > 0)
+        np.right_shift(rem, 1, out=rem)
+    return out
+
+
+def build_tournament_plan(elements: np.ndarray, indptr: np.ndarray,
+                          s: int, n_values: int) -> TournamentPlan | None:
+    """Instantiate the binned tournament selection for one batch geometry.
+
+    Returns ``None`` (caller falls back to the eager kernel sequence) when
+    the geometry is out of scope: a segment shorter than ``s`` (sentinel
+    padding would be needed) or duplicate element ids within a segment (the
+    tournament computes multiset top-``s``, the eager masking select
+    deduplicates — only distinctness makes them provably identical for
+    every hash coefficient).
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    elements = np.asarray(elements, dtype=np.int64)
+    lengths = np.diff(indptr)
+    n_seg = lengths.size
+    if n_seg == 0 or elements.size == 0:
+        return None
+    if int(lengths.min()) < s:
+        return None
+    # Distinctness proof: one packed sort over (segment, value) pairs.
+    seg_of = np.repeat(np.arange(n_seg, dtype=np.uint64),
+                       lengths).astype(np.uint64)
+    packed = seg_of * np.uint64(n_values) + elements.astype(np.uint64)
+    packed.sort()
+    if packed.size > 1 and np.any(packed[1:] == packed[:-1]):
+        return None
+
+    plan = TournamentPlan(
+        n_seg=n_seg, n_values=n_values,
+        iota=np.arange(n_values + 1, dtype=np.uint64))
+    buckets = _ceil_pow2(lengths)
+    perm = np.argsort(buckets, kind="stable")
+    plan.perm = perm
+    plan.perm_cols = perm.astype(np.uint64)
+    inv = np.empty(n_seg, dtype=np.int64)
+    inv[perm] = np.arange(n_seg, dtype=np.int64)
+    plan.col_to_row = inv
+
+    sorted_buckets = buckets[perm]
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], sorted_buckets[1:] != sorted_buckets[:-1])))
+    edges = np.append(boundaries, n_seg)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        segs = perm[lo:hi]
+        seg_lengths = lengths[segs]
+        pad_len = int(seg_lengths.max())
+        m = segs.size
+        idx = np.full((pad_len, m), n_values, dtype=np.int64)
+        starts = indptr[segs]
+        for j in range(pad_len):
+            live = seg_lengths > j
+            idx[j, live] = elements[starts[live] + j]
+        plan.bins.append((int(lo), idx))
+    return plan
+
+
+def run_tournament(plan: TournamentPlan, pool, a: np.ndarray, b: np.ndarray,
+                   prime: int, s: int, out32: np.ndarray) -> None:
+    """Replay the captured selection: hash table + binned min tournaments.
+
+    Writes the per-segment ascending top-``s`` hash keys into ``out32``
+    (``(t, n_seg, s)`` uint32, *bin-permuted* segment order).  Equivalent to
+    ``fused_hash`` + ``segmented_select_top_s`` composed with the plan's
+    column permutation whenever per-segment keys are distinct.
+    """
+    a = np.asarray(a, dtype=np.uint64).reshape(-1, 1)
+    b = np.asarray(b, dtype=np.uint64).reshape(-1, 1)
+    t = a.shape[0]
+    nv = plan.n_values
+    p64 = np.uint64(prime)
+    table64 = pool.take((t, nv + 1), np.uint64)
+    with np.errstate(over="ignore"):
+        np.multiply(a, plan.iota, out=table64)
+        np.add(table64, b, out=table64)
+        np.remainder(table64, p64, out=table64)
+    table32 = pool.take((t, nv + 1), np.uint32)
+    np.copyto(table32, table64, casting="unsafe")
+    table32[:, nv] = kernels.SENTINEL32
+    _run_bins(plan, pool, table32, s, out32, np.uint32(0xFFFFFFFF))
+    pool.give(table64, table32)
+
+
+def _run_bins(plan: TournamentPlan, pool, table: np.ndarray, s: int,
+              out: np.ndarray, fill) -> None:
+    """The binned min-tournament chain over an extended value table.
+
+    Works for any unsigned value dtype (32-bit hash keys or narrow ranks);
+    ``fill`` seeds the trailing registers and must exceed every real value.
+    The last register's displaced-maximum is never read, so its ``maximum``
+    launch is skipped — one fewer pass per row with identical registers.
+    """
+    t = table.shape[0]
+    dtype = table.dtype
+    for pos0, idx in plan.bins:
+        rows, m = idx.shape
+        regs = [pool.take((t, m), dtype) for _ in range(s)]
+        np.take(table, idx[0], axis=1, out=regs[0], mode="clip")
+        for r in range(1, s):
+            regs[r].fill(fill)
+        if rows > 1:
+            x = pool.take((t, m), dtype)
+            swap = pool.take((t, m), dtype)
+            for j in range(1, rows):
+                np.take(table, idx[j], axis=1, out=x, mode="clip")
+                cur, spare = x, swap
+                for r in range(s):
+                    if r < s - 1:
+                        np.maximum(regs[r], cur, out=spare)
+                    np.minimum(regs[r], cur, out=regs[r])
+                    if r < s - 1:
+                        cur, spare = spare, cur
+            pool.give(x, swap)
+        for r in range(s):
+            out[:, pos0:pos0 + m, r] = regs[r]
+        pool.give(*regs)
+
+
+def run_tournament_ids(plan: TournamentPlan, pool, a: np.ndarray,
+                       b: np.ndarray, prime: int, s: int,
+                       out_ids: np.ndarray) -> None:
+    """Replay the captured selection in *rank space*, emitting member ids.
+
+    Per trial the affine hash is injective over ids, so a hash value's rank
+    (its position in the trial's sorted hash table) is a strictly monotone
+    proxy: the binned min-tournament over ranks selects exactly the same
+    elements in the same ascending-key order as :func:`run_tournament` over
+    the 32-bit keys.  Running the chain on narrow ranks (uint16 whenever
+    ``n_values`` fits) halves the register traffic, and the winners map
+    straight back to member ids through the per-trial sort order — the
+    affine inversion (:func:`kernels.recover_top_ids`) disappears from the
+    replay entirely.  Writes ``(t, n_seg, s)`` uint64 ids, bin-permuted
+    like the key tournament's output.
+    """
+    a = np.asarray(a, dtype=np.uint64).reshape(-1, 1)
+    b = np.asarray(b, dtype=np.uint64).reshape(-1, 1)
+    t = a.shape[0]
+    nv = plan.n_values
+    p64 = np.uint64(prime)
+    table64 = pool.take((t, nv), np.uint64)
+    with np.errstate(over="ignore"):
+        np.multiply(a, plan.iota[:nv], out=table64)
+        np.add(table64, b, out=table64)
+        np.remainder(table64, p64, out=table64)
+    keys32 = pool.take((t, nv), np.uint32)
+    np.copyto(keys32, table64, casting="unsafe")
+    # Distinct per trial (affine bijection over 0..nv-1), so the order is
+    # unique and any sort kind yields the same permutation.
+    order = np.argsort(keys32, axis=1, kind="quicksort")
+    rank_dtype = np.uint16 if nv < 0xFFFF else np.uint32
+    fill = np.iinfo(rank_dtype).max
+    rank_table = pool.take((t, nv + 1), rank_dtype)
+    np.put_along_axis(
+        rank_table[:, :nv], order,
+        np.broadcast_to(np.arange(nv, dtype=rank_dtype), (t, nv)), axis=1)
+    rank_table[:, nv] = fill
+    out_rank = pool.take(out_ids.shape, rank_dtype)
+    _run_bins(plan, pool, rank_table, s, out_rank, fill)
+    # Winners are never pad sentinels (every segment has >= s real
+    # entries), so every rank indexes a real id in the trial's order row.
+    ids_by_rank = order.view(np.uint64)
+    for i in range(t):
+        np.take(ids_by_rank[i], out_rank[i], out=out_ids[i])
+    pool.give(table64, keys32, rank_table, out_rank)

@@ -55,7 +55,8 @@ CLASS_SPAN_PREFIXES = {
     "alignment": ("device.align_bin", "device.align"),
     "aggregate": ("device.aggregate",),
     "cc": ("device.cc.",),
-    "shingle": ("device.shingle", "exec.shingle_pass"),
+    "shingle": ("device.shingle", "exec.shingle_pass",
+                "device.graph_replay", "device.graph_capture"),
 }
 
 #: Transfer spans: busy time that is link occupancy, not kernel work.
@@ -144,6 +145,35 @@ def _union_seconds(intervals: list[tuple[float, float]]) -> float:
             cur_end = max(cur_end, end)
     if cur_end is not None:
         total += cur_end - cur_start
+    return total
+
+
+def _merge_intervals(
+        intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Sorted disjoint intervals covering the union of the inputs."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _overlap_seconds(a: list[tuple[float, float]],
+                     b: list[tuple[float, float]]) -> float:
+    """Measure of ``union(a) & union(b)`` (two-pointer sweep)."""
+    a, b = _merge_intervals(a), _merge_intervals(b)
+    total, i, j = 0.0, 0, 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
     return total
 
 
@@ -311,14 +341,20 @@ def modeled_seconds_by_class(metrics: dict) -> dict[str, float]:
     return out
 
 
-def wall_seconds_by_class(spans: list[dict]) -> dict[str, float]:
-    """Union wall seconds of class-attributed device spans, per class."""
+def class_intervals(spans: list[dict]) -> dict[str, list[tuple[float, float]]]:
+    """Raw ``(start, end)`` intervals of class-attributed device spans."""
     intervals: dict[str, list[tuple[float, float]]] = {}
     for s in spans:
         cls = _span_class(s["name"])
         if cls is not None:
             intervals.setdefault(cls, []).append((s["start"], s["end"]))
-    return {cls: _union_seconds(iv) for cls, iv in intervals.items()}
+    return intervals
+
+
+def wall_seconds_by_class(spans: list[dict]) -> dict[str, float]:
+    """Union wall seconds of class-attributed device spans, per class."""
+    return {cls: _union_seconds(iv)
+            for cls, iv in class_intervals(spans).items()}
 
 
 def attribute(doc: dict, metrics: dict | None = None) -> dict:
@@ -336,6 +372,13 @@ def attribute(doc: dict, metrics: dict | None = None) -> dict:
         Wall time of that kernel class's spans above its modeled device
         seconds — the execution-efficiency gap for ``shingle`` /
         ``alignment`` / ``aggregate`` / ``cc`` work.
+    ``dispatch_overhead:<class>``
+        The part of that class's roofline gap **not** explained by link
+        traffic: gap seconds minus the transfer-span overlap with the
+        class's own intervals (modeled contention lives inside the
+        transfer spans, so it is subtracted with them).  What remains is
+        host-side dispatch — Python replanning, per-launch accounting —
+        which is exactly what launch-graph replay removes.
     ``host_link_contention``
         Modeled seconds added by PCIe oversubscription
         (``group.host_link.contended_modeled_s``).
@@ -364,7 +407,8 @@ def attribute(doc: dict, metrics: dict | None = None) -> dict:
                    for proc, busy in sorted(procs.items())}
 
     modeled = modeled_seconds_by_class(metrics)
-    measured = wall_seconds_by_class(spans)
+    cls_intervals = class_intervals(spans)
+    measured = {cls: _union_seconds(iv) for cls, iv in cls_intervals.items()}
     roofline = {}
     for cls in sorted(set(modeled) | set(measured)):
         wall_cls = measured.get(cls, 0.0)
@@ -389,6 +433,8 @@ def attribute(doc: dict, metrics: dict | None = None) -> dict:
                "seconds": cp["idle_s"],
                "detail": "no track busy: host scheduling/merge gaps on "
                          f"the {cp['bounding_proc']} path"}]
+    transfer_intervals = [(s["start"], s["end"]) for s in spans
+                          if s["name"] in TRANSFER_SPANS]
     for cls, r in roofline.items():
         if r["wall_s"] or r["modeled_s"]:
             causes.append({
@@ -396,6 +442,16 @@ def attribute(doc: dict, metrics: dict | None = None) -> dict:
                 "seconds": r["gap_s"],
                 "detail": f"{cls} spans measured {r['wall_s']:.4f}s vs "
                           f"modeled {r['modeled_s']:.6f}s"})
+            overlap = _overlap_seconds(transfer_intervals,
+                                       cls_intervals.get(cls, []))
+            dispatch_s = max(0.0, r["gap_s"] - overlap)
+            if dispatch_s:
+                causes.append({
+                    "cause": f"dispatch_overhead:{cls}", "class": cls,
+                    "seconds": dispatch_s,
+                    "detail": f"{cls} gap {r['gap_s']:.4f}s minus "
+                              f"{overlap:.4f}s transfer/contention overlap "
+                              "= host dispatch"})
     if contended_s:
         causes.append({"cause": "host_link_contention", "class": "transfer",
                        "seconds": contended_s,

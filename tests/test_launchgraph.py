@@ -1,0 +1,346 @@
+"""Launch-graph capture/replay: modes, bit-identity, and exact accounting.
+
+The ``--launch-graph`` knob must never change a result: replayed chunks go
+through capture-built tournament tables and permutation-carrying reductions,
+so every PassResult and cluster labeling must be bit-identical to the eager
+path across modes, execution modes, device counts and aggregate backends.
+Accounting must stay reconciled too — same kernel launch/element counters,
+modeled seconds differing only by the documented once-per-graph launch
+latency rule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import device_exec
+from repro.core.device_exec import device_shingle_pass
+from repro.core.params import ShinglingParams
+from repro.core.pipeline import GpClust
+from repro.device import launchgraph
+from repro.device.device import SimulatedDevice
+from repro.device.group import DeviceGroup
+from repro.device.launchgraph import (
+    ACTION_CAPTURE,
+    ACTION_EAGER,
+    ACTION_REPLAY,
+    GRAPH_CACHE,
+    LG_AUTO,
+    LG_OFF,
+    LG_ON,
+    LaunchGraph,
+    adopt_token,
+    build_tournament_plan,
+    content_token,
+    run_tournament,
+    run_tournament_ids,
+)
+from repro.device.memory import ScratchPool
+from repro.obs import observe, use_obs
+from repro.synthdata.planted import PlantedFamilyConfig, planted_family_graph
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Launch graphs and pass plans are process-wide; isolate every test."""
+    GRAPH_CACHE.clear()
+    device_exec.clear_pass_plan_cache()
+    yield
+    GRAPH_CACHE.clear()
+    device_exec.clear_pass_plan_cache()
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return planted_family_graph(PlantedFamilyConfig(n_families=8), seed=11)
+
+
+BASE = ShinglingParams(s1=2, c1=8, s2=2, c2=6, trial_chunk=2)
+
+
+def _labels(graph, **overrides):
+    return GpClust(BASE.with_overrides(**overrides)).run(graph).labels
+
+
+# --------------------------------------------------------------------- #
+# Cache state machine
+# --------------------------------------------------------------------- #
+
+
+class TestGraphCache:
+    SIG = ("reduce", "fused", 4, 2, 13, 7, False, b"e", b"i", b"g")
+
+    def _graph(self):
+        return LaunchGraph(signature=self.SIG, kind="reduce", kernel="fused",
+                           t=4, s=2, prime=13, n_values=7, n_seg=3, nnz=9,
+                           nodes=(), modeled_s=0.0)
+
+    def test_off_is_always_eager(self):
+        for _ in range(3):
+            assert GRAPH_CACHE.resolve(self.SIG, LG_OFF) == (ACTION_EAGER, None)
+        assert GRAPH_CACHE.stats()["entries"] == 0
+
+    def test_auto_captures_on_second_occurrence(self):
+        assert GRAPH_CACHE.resolve(self.SIG, LG_AUTO)[0] == ACTION_EAGER
+        assert GRAPH_CACHE.resolve(self.SIG, LG_AUTO)[0] == ACTION_CAPTURE
+        # While capturing, concurrent matches stay eager.
+        assert GRAPH_CACHE.resolve(self.SIG, LG_AUTO)[0] == ACTION_EAGER
+        GRAPH_CACHE.commit(self._graph())
+        action, graph = GRAPH_CACHE.resolve(self.SIG, LG_AUTO)
+        assert action == ACTION_REPLAY
+        assert graph.replays == 1
+
+    def test_on_captures_immediately(self):
+        assert GRAPH_CACHE.resolve(self.SIG, LG_ON)[0] == ACTION_CAPTURE
+
+    def test_abort_allows_recapture(self):
+        GRAPH_CACHE.resolve(self.SIG, LG_ON)
+        GRAPH_CACHE.abort_capture(self.SIG)
+        assert GRAPH_CACHE.resolve(self.SIG, LG_ON)[0] == ACTION_CAPTURE
+
+    def test_eviction_bound(self):
+        for i in range(launchgraph._MAX_GRAPHS + 5):
+            GRAPH_CACHE.resolve(("sig", i), LG_ON)
+        assert GRAPH_CACHE.stats()["entries"] <= launchgraph._MAX_GRAPHS
+
+
+class TestContentTokens:
+    def test_equal_content_equal_token(self):
+        a = np.arange(10, dtype=np.int64)
+        b = np.arange(10, dtype=np.int64)
+        assert a is not b
+        assert content_token(a) == content_token(b)
+
+    def test_dtype_and_shape_matter(self):
+        a = np.arange(10, dtype=np.int64)
+        assert content_token(a) != content_token(a.astype(np.uint64))
+        assert content_token(a) != content_token(a.reshape(2, 5))
+
+    def test_adopted_copy_inherits_token(self):
+        src = np.arange(64, dtype=np.uint64)
+        dst = src.copy()
+        adopt_token(dst, src)
+        assert content_token(dst) == content_token(src)
+
+    def test_adoption_survives_dead_source(self):
+        src = np.arange(64, dtype=np.uint64)
+        dst = src.copy()
+        expected = content_token(src)
+        adopt_token(dst, src)
+        del src
+        assert content_token(dst) == expected
+
+
+# --------------------------------------------------------------------- #
+# Tournament instantiation
+# --------------------------------------------------------------------- #
+
+
+def _eager_top_ids(elements, indptr, a, b, prime, s):
+    """Brute-force per-segment ascending top-s hash keys, as member ids."""
+    t = a.shape[0]
+    n_seg = indptr.size - 1
+    out = np.empty((t, n_seg, s), dtype=np.uint64)
+    for i in range(t):
+        for seg in range(n_seg):
+            ids = elements[indptr[seg]:indptr[seg + 1]].astype(np.uint64)
+            keys = (a[i] * ids + b[i]) % prime
+            out[i, seg] = ids[np.argsort(keys)][:s]
+    return out
+
+
+class TestTournament:
+    PRIME = 2147483647
+
+    def _geometry(self, rng, n_seg=17, n_values=101, s=2):
+        lengths = rng.integers(s, 9, n_seg)
+        indptr = np.zeros(n_seg + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        elements = np.concatenate([
+            rng.choice(n_values, size=L, replace=False) for L in lengths
+        ]).astype(np.int64)
+        return elements, indptr
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_both_executors_match_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        s, n_values = 2, 101
+        elements, indptr = self._geometry(rng, n_values=n_values, s=s)
+        plan = build_tournament_plan(elements, indptr, s, n_values)
+        assert plan is not None
+        t = 5
+        a = rng.integers(1, self.PRIME, t).astype(np.uint64)
+        b = rng.integers(0, self.PRIME, t).astype(np.uint64)
+        expected = _eager_top_ids(elements, indptr, a, b, self.PRIME, s)
+        pool = ScratchPool()
+        n_seg = indptr.size - 1
+
+        ids = np.empty((t, n_seg, s), dtype=np.uint64)
+        run_tournament_ids(plan, pool, a, b, self.PRIME, s, out_ids=ids)
+        assert np.array_equal(ids, expected[:, plan.perm, :])
+
+        keys = np.empty((t, n_seg, s), dtype=np.uint32)
+        run_tournament(plan, pool, a, b, self.PRIME, s, out32=keys)
+        expected_keys = (a.reshape(-1, 1, 1) * expected[:, plan.perm, :]
+                         + b.reshape(-1, 1, 1)) % self.PRIME
+        assert np.array_equal(keys, expected_keys.astype(np.uint32))
+
+    def test_plan_rejects_short_segments(self):
+        indptr = np.array([0, 1, 4], dtype=np.int64)
+        elements = np.array([3, 0, 1, 2], dtype=np.int64)
+        assert build_tournament_plan(elements, indptr, 2, 10) is None
+
+    def test_plan_rejects_duplicate_ids(self):
+        indptr = np.array([0, 3], dtype=np.int64)
+        elements = np.array([4, 4, 5], dtype=np.int64)
+        assert build_tournament_plan(elements, indptr, 2, 10) is None
+
+    def test_plan_rejects_empty(self):
+        assert build_tournament_plan(
+            np.empty(0, np.int64), np.zeros(1, np.int64), 2, 10) is None
+
+    def test_rank_mode_uses_u16_when_n_values_fits(self):
+        # Indirect check: n_values below the u16 bound must still agree
+        # with brute force (the dtype switch is internal).
+        rng = np.random.default_rng(7)
+        elements, indptr = self._geometry(rng, n_values=70000, s=2)
+        plan = build_tournament_plan(elements, indptr, 2, 70000)
+        t = 3
+        a = rng.integers(1, self.PRIME, t).astype(np.uint64)
+        b = rng.integers(0, self.PRIME, t).astype(np.uint64)
+        ids = np.empty((t, indptr.size - 1, 2), dtype=np.uint64)
+        run_tournament_ids(plan, ScratchPool(), a, b, self.PRIME, 2,
+                           out_ids=ids)
+        expected = _eager_top_ids(elements, indptr, a, b, self.PRIME, 2)
+        assert np.array_equal(ids, expected[:, plan.perm, :])
+
+
+# --------------------------------------------------------------------- #
+# Pipeline bit-identity
+# --------------------------------------------------------------------- #
+
+
+class TestPipelineBitIdentity:
+    def test_modes_identical_labels(self, planted):
+        ref = _labels(planted.graph, launch_graph="off")
+        for mode in ("on", "auto"):
+            GRAPH_CACHE.clear()
+            device_exec.clear_pass_plan_cache()
+            # Twice: the second run replays from the warm process cache.
+            cold = _labels(planted.graph, launch_graph=mode)
+            warm = _labels(planted.graph, launch_graph=mode)
+            assert np.array_equal(cold, ref)
+            assert np.array_equal(warm, ref)
+
+    @pytest.mark.parametrize("exec_mode", ["sync", "prefetch", "multistream"])
+    def test_exec_modes_identical(self, planted, exec_mode):
+        ref = _labels(planted.graph, launch_graph="off", exec_mode=exec_mode)
+        got = _labels(planted.graph, launch_graph="on", exec_mode=exec_mode)
+        assert np.array_equal(got, ref)
+
+    @pytest.mark.parametrize("devices", [2, 4])
+    def test_device_counts_identical(self, planted, devices):
+        ref = _labels(planted.graph, launch_graph="off", devices=devices)
+        got = _labels(planted.graph, launch_graph="on", devices=devices)
+        assert np.array_equal(got, ref)
+
+    @pytest.mark.parametrize("backend", ["host", "device"])
+    def test_aggregate_backends_identical(self, planted, backend):
+        ref = _labels(planted.graph, launch_graph="off",
+                      aggregate_backend=backend)
+        got = _labels(planted.graph, launch_graph="on",
+                      aggregate_backend=backend)
+        assert np.array_equal(got, ref)
+
+    def test_pass_result_identical_warm_replay(self, planted):
+        graph = planted.graph
+        config = BASE.pass_config(1)
+        ref = device_shingle_pass(graph.indptr, graph.indices, config,
+                                  SimulatedDevice(), kernel="fused",
+                                  trial_chunk=2)
+        plan = BASE.with_overrides(launch_graph="on").execution_plan()
+        device = SimulatedDevice()
+        for _ in range(2):  # capture run, then replay run
+            got = device_shingle_pass(graph.indptr, graph.indices, config,
+                                      device, kernel="fused", trial_chunk=2,
+                                      plan=plan)
+            assert got == ref
+        assert device.launch_graph_stats["hits"] > 0
+
+
+# --------------------------------------------------------------------- #
+# Accounting
+# --------------------------------------------------------------------- #
+
+
+class TestAccounting:
+    def _run(self, graph, mode, device=None):
+        params = BASE.with_overrides(launch_graph=mode,
+                                     aggregate_backend="device")
+        device = device or SimulatedDevice()
+        GpClust(params).run(graph, device=device)
+        return device
+
+    def test_counters_and_latency_rule(self, planted):
+        """Replay keeps launch/element counters; modeled seconds differ by
+        exactly one launch latency per non-leading node per replay."""
+        off = self._run(planted.graph, "off")
+        dev = SimulatedDevice()
+        self._run(planted.graph, "on", device=dev)
+        on = dev.kernel_stats
+        stats_off = off.kernel_stats
+        assert set(on) == set(stats_off)
+        for name in stats_off:
+            assert on[name]["launches"] == stats_off[name]["launches"]
+            assert on[name]["elements"] == stats_off[name]["elements"]
+        modeled_off = sum(v["modeled_s"] for v in stats_off.values())
+        modeled_on = sum(v["modeled_s"] for v in on.values())
+        hits = dev.launch_graph_stats["hits"]
+        assert hits > 0
+        # Every replayed reduce graph has 4 nodes -> 3 folded latencies.
+        expected_saving = hits * 3 * dev.spec.kernels.launch_latency_s
+        assert modeled_off - modeled_on == pytest.approx(expected_saving,
+                                                         abs=1e-12)
+
+    def test_replay_span_and_gauges(self, planted):
+        params = BASE.with_overrides(launch_graph="on",
+                                     aggregate_backend="device")
+        ctx = observe()
+        with use_obs(ctx):
+            GpClust(params).run(planted.graph)
+        names = {r.name for r in ctx.tracer.records}
+        assert "device.graph_capture" in names
+        assert "device.graph_replay" in names
+        gauges = ctx.metrics.snapshot()["gauges"]
+        hit_keys = [k for k in gauges if k.endswith(".graph.hits")]
+        assert hit_keys and sum(gauges[k] for k in hit_keys) > 0
+        assert any(k.endswith(".graph_hit_rate") for k in gauges)
+
+    def test_group_fanout(self, planted):
+        group = DeviceGroup(2)
+        params = BASE.with_overrides(launch_graph="on", devices=2,
+                                     exec_mode="multidevice")
+        GpClust(params).run(planted.graph, device=group)
+        assert all(m.launch_graph_stats["mode"] == "on"
+                   for m in group.members)
+
+    def test_pass_plan_cache_hits_on_second_run(self, planted):
+        params = BASE.with_overrides(launch_graph="on")
+        GpClust(params).run(planted.graph)
+        before = device_exec.pass_plan_cache_stats()["hits"]
+        GpClust(params).run(planted.graph)
+        assert device_exec.pass_plan_cache_stats()["hits"] > before
+
+    def test_off_mode_never_touches_cache(self, planted):
+        self._run(planted.graph, "off")
+        assert GRAPH_CACHE.stats()["entries"] == 0
+        assert device_exec.pass_plan_cache_stats()["entries"] == 0
+
+
+class TestParamsValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="launch_graph"):
+            ShinglingParams(launch_graph="sometimes")
+
+    def test_device_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="launch-graph"):
+            SimulatedDevice().configure_launch_graph("sometimes")

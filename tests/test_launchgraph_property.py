@@ -1,0 +1,138 @@
+"""Property tests: launch-graph replay is invisible except in dispatch cost.
+
+Hypothesis drives random chunk-shape sequences — ragged trial tails,
+segments below the shingle threshold, duplicate members (which defeat the
+tournament plan and force the kernels executor), and mid-run shape changes
+across consecutive passes on one device.  For every sequence:
+
+* the pass result is bit-identical between ``launch_graph`` off and on, and
+* the device's kernel counters reconcile exactly — identical launches and
+  element totals, with modeled seconds differing by precisely one folded
+  launch latency per non-leading graph node per replay (the rule documented
+  in :mod:`repro.device.timingmodels`).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import device_exec
+from repro.core.device_exec import device_shingle_pass
+from repro.core.execplan import ExecutionPlan
+from repro.core.params import ShinglingParams
+from repro.device import launchgraph
+from repro.device.device import SimulatedDevice
+from repro.device.launchgraph import GRAPH_CACHE
+
+# Nodes per captured fused-reduce graph; replay folds the launch latency of
+# all but the first node into the graph dispatch.
+REDUCE_GRAPH_NODES = 4
+
+
+def _random_pass(rng, n_seg, max_len, n_values):
+    # Valid CSR adjacency: neighbor ids are unique within a segment (the
+    # per-segment hash table relies on that, like real adjacency lists).
+    lengths = rng.integers(0, min(max_len, n_values) + 1, n_seg)
+    indptr = np.zeros(n_seg + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    elements = np.concatenate([
+        rng.choice(n_values, size=length, replace=False)
+        for length in lengths
+    ] or [np.empty(0)]).astype(np.int64)
+    return indptr, elements
+
+
+@st.composite
+def pass_sequences(draw):
+    seed = draw(st.integers(0, 2**32 - 1))
+    n_runs = draw(st.integers(1, 3))
+    c = draw(st.integers(3, 10))
+    trial_chunk = draw(st.integers(2, 4))
+    shapes = [
+        (draw(st.integers(3, 14)),   # n_seg
+         draw(st.integers(0, 7)),    # max segment length (0 => empty pass)
+         draw(st.integers(4, 60)))   # n_values
+        for _ in range(n_runs)
+    ]
+    return seed, c, trial_chunk, shapes
+
+
+@settings(max_examples=25, deadline=None)
+@given(pass_sequences())
+def test_replay_bit_identical_and_reconciled(seq):
+    seed, c, trial_chunk, shapes = seq
+    rng = np.random.default_rng(seed)
+    passes = [_random_pass(rng, *shape) for shape in shapes]
+    params = ShinglingParams(s1=2, c1=c, s2=2, c2=6, seed=int(seed % 997),
+                             trial_chunk=trial_chunk)
+    config = params.pass_config(1)
+
+    GRAPH_CACHE.clear()
+    device_exec.clear_pass_plan_cache()
+    try:
+        dev_off = SimulatedDevice()
+        results_off = [
+            device_shingle_pass(indptr, elements, config, dev_off,
+                                kernel="fused", trial_chunk=trial_chunk)
+            for indptr, elements in passes
+        ]
+
+        dev_on = SimulatedDevice()
+        plan = ExecutionPlan(launch_graph="on")
+        results_on = [
+            device_shingle_pass(indptr, elements, config, dev_on,
+                                kernel="fused", trial_chunk=trial_chunk,
+                                plan=plan)
+            for indptr, elements in passes
+        ]
+
+        for off, on in zip(results_off, results_on):
+            assert on == off
+
+        stats_off, stats_on = dev_off.kernel_stats, dev_on.kernel_stats
+        assert set(stats_on) == set(stats_off)
+        for name in stats_off:
+            assert stats_on[name]["launches"] == stats_off[name]["launches"]
+            assert stats_on[name]["elements"] == stats_off[name]["elements"]
+
+        modeled_off = sum(v["modeled_s"] for v in stats_off.values())
+        modeled_on = sum(v["modeled_s"] for v in stats_on.values())
+        hits = dev_on.launch_graph_stats["hits"]
+        saved = hits * (REDUCE_GRAPH_NODES - 1) \
+            * dev_on.spec.kernels.launch_latency_s
+        assert abs((modeled_off - modeled_on) - saved) < 1e-12
+    finally:
+        GRAPH_CACHE.clear()
+        device_exec.clear_pass_plan_cache()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(2, 4))
+def test_repeated_shape_replays_stay_identical(seed, trial_chunk):
+    """Same shape re-run many times: one capture, then replays, all equal."""
+    rng = np.random.default_rng(seed)
+    indptr, elements = _random_pass(rng, 10, 6, 40)
+    params = ShinglingParams(s1=2, c1=8, s2=2, c2=6, seed=int(seed % 997),
+                             trial_chunk=trial_chunk)
+    config = params.pass_config(1)
+
+    GRAPH_CACHE.clear()
+    device_exec.clear_pass_plan_cache()
+    try:
+        ref = device_shingle_pass(indptr, elements, config,
+                                  SimulatedDevice(), kernel="fused",
+                                  trial_chunk=trial_chunk)
+        device = SimulatedDevice()
+        plan = ExecutionPlan(launch_graph="auto")
+        for _ in range(4):
+            got = device_shingle_pass(indptr, elements, config, device,
+                                      kernel="fused",
+                                      trial_chunk=trial_chunk, plan=plan)
+            assert got == ref
+        stats = device.launch_graph_stats
+        # auto: first sight eager, second captures, rest replay.
+        assert stats["captures"] <= launchgraph._MAX_GRAPHS
+        if stats["captures"] > 0:
+            assert stats["hits"] > 0
+    finally:
+        GRAPH_CACHE.clear()
+        device_exec.clear_pass_plan_cache()

@@ -7,6 +7,7 @@ while never exceeding wall time (the path is a set of disjoint
 timeline stretches).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -192,8 +193,16 @@ class TestAttribution:
         assert causes[0]["class"] == "shingle"
         assert [c["rank"] for c in causes] == list(range(1, len(causes) + 1))
         slugs = {c["cause"] for c in causes}
-        assert "host_link_contention" in slugs
-        assert "alignment_padding" in slugs
+        # The dispatch slug splits each gap into "not explained by link
+        # traffic"; with zero transfer overlap it equals the full gap and
+        # ranks right behind it, displacing the small contention/padding
+        # causes from the top five (they are still considered).
+        assert "dispatch_overhead:shingle" in slugs
+        assert "dispatch_overhead:alignment" in slugs
+        by_slug = {c["cause"]: c for c in causes}
+        assert (by_slug["dispatch_overhead:shingle"]["seconds"]
+                <= by_slug["roofline_gap:shingle"]["seconds"])
+        assert report["n_causes_considered"] >= 7
         # Shares are fractions of wall.
         assert all(0.0 <= c["share"] <= 1.0 for c in causes)
 
@@ -225,6 +234,50 @@ class TestAttribution:
         assert "roofline" in text
         assert "top places this run lost time" in text
         assert "roofline_gap:shingle" in text
+
+
+class TestAttributionCommittedTrace:
+    """Pin the dispatch slug against the committed mini trace.
+
+    mini_trace_a.json holds device.upload on io at [0, 0.1]s,
+    device.shingle_chunk_reduce on stream at [0.1, 0.5]s, plus host-side
+    gpclust.run/aggregate.merge_partials spans.  With the metrics zeroed
+    the shingle gap is the full 0.4s device wall, and — with zero overlap
+    between the transfer and the shingle interval — dispatch_overhead must
+    claim exactly that gap, not a share diluted by the upload time.
+    """
+
+    def _load(self):
+        import json
+        from pathlib import Path
+        path = Path(__file__).parent / "data" / "mini_trace_a.json"
+        return json.loads(path.read_text())
+
+    def test_dispatch_overhead_equals_unoverlapped_gap(self):
+        empty = {"counters": {}, "gauges": {}, "histograms": {}}
+        report = attribute(self._load(), metrics=empty)
+        roof = report["roofline"]["shingle"]
+        assert roof["wall_s"] == pytest.approx(0.4)
+        assert roof["gap_s"] == pytest.approx(0.4)
+        by_slug = {c["cause"]: c for c in report["causes"]}
+        assert "dispatch_overhead:shingle" in by_slug
+        assert by_slug["dispatch_overhead:shingle"]["seconds"] == \
+            pytest.approx(0.4)
+
+    def test_transfer_overlap_discounts_dispatch(self):
+        # Shift the upload to overlap the shingle interval: the dispatch
+        # slug must shrink by exactly the overlapped seconds while the
+        # roofline gap itself is unchanged.
+        doc = self._load()
+        for ev in doc["traceEvents"]:
+            if ev.get("name") == "device.upload":
+                ev["ts"] = 150000.0  # [0.15, 0.25]s, inside the reduce span
+        empty = {"counters": {}, "gauges": {}, "histograms": {}}
+        report = attribute(doc, metrics=empty)
+        assert report["roofline"]["shingle"]["gap_s"] == pytest.approx(0.4)
+        by_slug = {c["cause"]: c for c in report["causes"]}
+        assert by_slug["dispatch_overhead:shingle"]["seconds"] == \
+            pytest.approx(0.3)
 
 
 class TestDiff:
